@@ -1,0 +1,130 @@
+"""Figure 11: performance S-curve, RRS versus BlockHammer.
+
+Runs RRS and BlockHammer (blacklist thresholds 512 and 1K, scaled with
+the epoch) over a workload population and prints the sorted normalized-
+performance series. Paper readings: BlockHammer suffers up to 21.7%
+slowdown with 10-25 workloads above 5%, average ~2%; RRS worst case
+7.6% with only 3 workloads above 5%, average 0.4%.
+
+Default: a 12-workload population mixing the swap/ACT-heavy Table 3
+entries with quieter ones; REPRO_FULL=1 runs all 28 + quiet sample.
+"""
+
+from benchmarks.conftest import full_runs_requested
+
+from repro.analysis.charts import s_curve
+from repro.analysis.perf import records_for_windows, run_workload
+from repro.analysis.report import render_table
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.none import NoMitigation
+from repro.utils.stats import geomean
+from repro.workloads.suites import WORKLOAD_TABLE, get_workload
+
+SCALE = 32
+DEFAULT_WORKLOADS = (
+    "hmmer",
+    "bzip2",
+    "h264",
+    "calculix",
+    "gcc",
+    "sphinx",
+    "xz_17",
+    "stream",
+    "ferret",
+    "black",
+    "gromacs",
+    "povray",
+)
+
+
+def _blockhammer_factory(blacklist):
+    def factory():
+        return BlockHammer(
+            BlockHammerConfig(
+                t_rh=4800 // SCALE,
+                blacklist_threshold=max(2, blacklist // SCALE),
+                window_ns=DRAMConfig().scaled(SCALE).refresh_window_ns,
+            )
+        )
+
+    return factory
+
+
+def _rrs_factory():
+    dram = DRAMConfig().scaled(SCALE)
+    return RandomizedRowSwap(
+        RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
+    )
+
+
+def _workload_names():
+    if full_runs_requested():
+        return [spec.name for spec in WORKLOAD_TABLE] + ["gromacs", "povray"]
+    return list(DEFAULT_WORKLOADS)
+
+
+def _measure():
+    defenses = {
+        "RRS": _rrs_factory,
+        "BH-512": _blockhammer_factory(512),
+        "BH-1K": _blockhammer_factory(1024),
+    }
+    norms = {name: {} for name in defenses}
+    for workload in dict.fromkeys(_workload_names()):
+        spec = get_workload(workload)
+        records = records_for_windows(spec, SCALE, max_records=60_000)
+        baseline = run_workload(
+            spec, NoMitigation(), scale=SCALE, records_per_core=records
+        )
+        for defense, factory in defenses.items():
+            metrics = run_workload(
+                spec, factory(), scale=SCALE, records_per_core=records
+            )
+            norms[defense][workload] = metrics.normalized_to(baseline)
+    return norms
+
+
+def test_fig11_scurve(benchmark, record_result):
+    norms = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    workloads = list(next(iter(norms.values())))
+    rows = [
+        [w] + [f"{norms[d][w]:.4f}" for d in ("RRS", "BH-512", "BH-1K")]
+        for w in workloads
+    ]
+    summary = []
+    for defense in ("RRS", "BH-512", "BH-1K"):
+        values = sorted(norms[defense].values())
+        summary.append(
+            [
+                f"{defense}: worst / mean",
+                f"{values[0]:.4f}",
+                f"{geomean(values):.4f}",
+                f">5% slow: {sum(1 for v in values if v < 0.95)}",
+            ]
+        )
+    curve = s_curve(
+        {name: list(values.values()) for name, values in norms.items()},
+        height=12,
+        width=56,
+    )
+    text = render_table(
+        ["Workload", "RRS", "BlockHammer-512", "BlockHammer-1K"],
+        rows,
+        title=f"Figure 11: normalized performance (S-curve population, scale 1/{SCALE})",
+    ) + "\n" + render_table(
+        ["Summary", "worst-case", "geomean", "count"],
+        summary,
+    ) + "\n\n" + curve
+    record_result("fig11_scurve_blockhammer", text)
+
+    rrs_values = list(norms["RRS"].values())
+    bh512_values = list(norms["BH-512"].values())
+    # Shape: BlockHammer's worst case is clearly worse than RRS's, and
+    # its tighter blacklist (512) throttles at least as hard as 1K.
+    assert min(bh512_values) < min(rrs_values)
+    assert geomean(bh512_values) <= geomean(list(norms["BH-1K"].values())) + 0.02
+    # RRS stays within its paper envelope (worst case 7.6%, plus noise).
+    assert min(rrs_values) > 0.88

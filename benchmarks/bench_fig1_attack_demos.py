@@ -1,0 +1,114 @@
+"""Figure 1: the four panels of the paper's motivating figure.
+
+(a) classic Row Hammer flips bits on unprotected DRAM;
+(b) victim-focused mitigation (refresh immediate neighbours) stops it;
+(c) Half-Double flips bits at distance 2 *through* victim-focused
+    mitigation — the mitigation's own refreshes power the attack;
+(d) Randomized Row-Swap breaks the spatial correlation and stops both.
+
+Run at a reduced T_RH (the attack mechanics are threshold-relative;
+the full-threshold versions are exercised by the attack tests).
+"""
+
+from repro.analysis.report import render_table
+from repro.attacks.base import AttackHarness
+from repro.attacks.patterns import HalfDoubleAttack, SingleSidedAttack
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+from repro.mitigations.ideal_vfm import IdealVictimRefresh
+from repro.mitigations.none import NoMitigation
+
+T_RH = 480
+ROWS = 128 * 1024
+
+
+def _dram():
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=ROWS, row_size_bytes=1024
+    )
+
+
+def _vfm():
+    return IdealVictimRefresh(t_rh=T_RH, mitigation_threshold=64, rows_per_bank=ROWS)
+
+
+def _rrs():
+    t_rrs = T_RH // 6
+    return RandomizedRowSwap(
+        RRSConfig(
+            t_rh=T_RH,
+            t_rrs=t_rrs,
+            window_activations=400_000,
+            rows_per_bank=ROWS,
+            tracker_entries=400_000 // t_rrs,
+            rit_capacity_tuples=2 * (400_000 // t_rrs),
+        ),
+        _dram(),
+    )
+
+
+def _panels():
+    panels = []
+
+    # Panels (a)/(b): classic blast-radius-1 physics with idealized
+    # refresh — the setting in which victim-focused mitigation is sound.
+    harness = AttackHarness(
+        NoMitigation(), _dram(), t_rh=T_RH, distance2_coupling=0.0
+    )
+    result = harness.run(SingleSidedAttack(1000).rows(), max_activations=100_000)
+    panels.append(("(a) classic RH vs unprotected", result, "bit-flips"))
+
+    harness = AttackHarness(
+        _vfm(),
+        _dram(),
+        t_rh=T_RH,
+        distance2_coupling=0.0,
+        refresh_disturbs_neighbors=False,
+    )
+    result = harness.run(SingleSidedAttack(1000).rows(), max_activations=100_000)
+    panels.append(("(b) classic RH vs victim-refresh", result, "no flips"))
+
+    harness = AttackHarness(_vfm(), _dram(), t_rh=T_RH)
+    result = harness.run(
+        HalfDoubleAttack(victim=1000, dose_interval=10**9).rows(),
+        max_activations=400_000,
+    )
+    panels.append(("(c) Half-Double vs victim-refresh", result, "distance-2 flips"))
+
+    harness = AttackHarness(_rrs(), _dram(), t_rh=T_RH)
+    result = harness.run(
+        HalfDoubleAttack(victim=1000, dose_interval=10**9).rows(),
+        max_activations=400_000,
+    )
+    panels.append(("(d) Half-Double vs RRS", result, "no flips"))
+    return panels
+
+
+def test_fig1_attack_panels(benchmark, record_result):
+    panels = benchmark.pedantic(_panels, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            f"{r.activations:,}",
+            r.victim_refreshes,
+            r.swaps,
+            "FLIPPED" if r.succeeded else "protected",
+            expectation,
+        ]
+        for label, r, expectation in panels
+    ]
+    text = render_table(
+        ["Panel", "ACTs", "Victim refreshes", "Swaps", "Outcome", "Paper"],
+        rows,
+        title=f"Figure 1: attack/mitigation panels (scaled T_RH={T_RH})",
+    )
+    record_result("fig1_attack_demos", text)
+
+    results = {label[:3]: r for label, r, _ in panels}
+    assert results["(a)"].succeeded
+    assert not results["(b)"].succeeded
+    assert results["(c)"].succeeded
+    # Half-Double's flips land beyond the defended blast radius.
+    assert all(abs(f.row - 1002) >= 2 for f in results["(c)"].flips)
+    assert not results["(d)"].succeeded

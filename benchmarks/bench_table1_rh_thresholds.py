@@ -1,0 +1,34 @@
+"""Table 1: Row Hammer threshold over time.
+
+Static data reproduced from the paper's survey, printed alongside the
+~30x decline the introduction highlights. The benchmark times the
+security-model evaluation across the whole threshold history (how long
+a Table 4-style analysis takes per generation).
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.security import RH_THRESHOLD_HISTORY, attack_time_seconds
+from repro.utils.units import format_seconds
+
+
+def _rows():
+    rows = []
+    for generation, t_rh in RH_THRESHOLD_HISTORY.items():
+        t_rrs = t_rh // 6
+        seconds = attack_time_seconds(t_rrs, t_rrs * 6)
+        rows.append([generation, f"{t_rh:,}", f"{t_rrs:,}", format_seconds(seconds)])
+    return rows
+
+
+def test_table1_rh_thresholds(benchmark, record_result):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["DRAM Generation", "RH-Threshold (paper)", "RRS T (T_RH/6)", "Attack time (Eq. 3)"],
+        rows,
+        title="Table 1: Row Hammer threshold over time (+ RRS k=6 attack time)",
+    )
+    record_result("table1_rh_thresholds", text)
+
+    # The paper's headline: ~30x decline from DDR3-old to LPDDR4-new.
+    decline = RH_THRESHOLD_HISTORY["DDR3 (old)"] / RH_THRESHOLD_HISTORY["LPDDR4 (new)"]
+    assert 25 <= decline <= 35

@@ -1,0 +1,62 @@
+"""Table 5: storage overhead per bank.
+
+Recomputes the SRAM budget from the structure geometries (RIT CAT
+2x256x20 at 28 bits, tracker CAT 2x64x20 at 22 bits, amortized swap
+buffers) and compares against the paper's 35KB / 6.9KB / 1KB / 42.9KB.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.storage import rrs_storage_overhead
+from repro.utils.units import KB, format_bytes
+
+
+def test_table5_storage(benchmark, record_result):
+    storage = benchmark.pedantic(rrs_storage_overhead, rounds=1, iterations=1)
+    text = render_table(
+        ["Structure", "Entry-Size", "Entries", "Paper", "Measured"],
+        [
+            [
+                "RIT",
+                f"{storage.rit_entry_bits}-bits",
+                "2x256x20",
+                "35KB",
+                format_bytes(storage.rit_bytes),
+            ],
+            [
+                "Tracker",
+                f"{storage.tracker_entry_bits}-bits",
+                "2x64x20",
+                "6.9KB",
+                format_bytes(storage.tracker_bytes),
+            ],
+            [
+                "Swap-Buffers",
+                "16KB/channel",
+                "1/16",
+                "1KB",
+                format_bytes(storage.swap_buffer_bytes_per_bank),
+            ],
+            [
+                "Total (per bank)",
+                "",
+                "",
+                "42.9KB",
+                format_bytes(storage.total_bytes_per_bank),
+            ],
+            [
+                "Total (per rank)",
+                "",
+                "",
+                "686KB",
+                format_bytes(storage.total_bytes_per_rank(16)),
+            ],
+        ],
+        title="Table 5: RRS storage overhead per bank",
+    )
+    record_result("table5_storage", text)
+
+    assert storage.rit_entry_bits == 28
+    assert storage.tracker_entry_bits == 22
+    assert storage.total_bytes_per_bank == pytest.approx(42.9 * KB, rel=0.01)

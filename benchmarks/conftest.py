@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one of the paper's tables or figures, prints the
+paper-vs-measured rows, and archives them under ``benchmarks/results/``
+so EXPERIMENTS.md can cite them. Set ``REPRO_FULL=1`` for full-scale
+runs (all 78 workloads / full-length windows) where a bench offers a
+reduced default.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_runs_requested() -> bool:
+    """True when the caller opted into the long full-population runs."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def record_result():
+    """Print a result block and archive it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,121 @@
+"""Attack gallery: every Row Hammer pattern against every defense.
+
+Reproduces the paper's motivating story (Figure 1) as a live matrix:
+classic single-/double-sided hammering, the TRRespass many-sided
+pattern, and Google's Half-Double, each thrown at the unprotected
+baseline, in-DRAM TRR, Graphene, idealized victim refresh, and RRS.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.analysis.report import render_table
+from repro.attacks import (
+    AttackHarness,
+    DoubleSidedAttack,
+    HalfDoubleAttack,
+    ManySidedAttack,
+    SingleSidedAttack,
+)
+from repro.core import RRSConfig, RandomizedRowSwap
+from repro.dram import DRAMConfig
+from repro.mitigations import (
+    Graphene,
+    IdealVictimRefresh,
+    NoMitigation,
+    TargetedRowRefresh,
+)
+
+# Scaled threshold keeps each cell fast; the mechanics are
+# threshold-relative (see tests/attacks/test_matrix.py).
+T_RH = 480
+ROWS = 128 * 1024
+ACTS_BUDGET = 400_000
+
+
+def _dram():
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=ROWS, row_size_bytes=1024
+    )
+
+
+def _defenses():
+    t_rrs = T_RH // 6
+    return {
+        "none": lambda: NoMitigation(),
+        "TRR": lambda: TargetedRowRefresh(rows_per_bank=ROWS),
+        "Graphene": lambda: Graphene(
+            t_rh=T_RH, mitigation_threshold=T_RH // 4, rows_per_bank=ROWS
+        ),
+        "Ideal-VFM": lambda: IdealVictimRefresh(
+            t_rh=T_RH, mitigation_threshold=64, rows_per_bank=ROWS
+        ),
+        "RRS": lambda: RandomizedRowSwap(
+            RRSConfig(
+                t_rh=T_RH,
+                t_rrs=t_rrs,
+                window_activations=400_000,
+                rows_per_bank=ROWS,
+                tracker_entries=400_000 // t_rrs,
+                rit_capacity_tuples=2 * (400_000 // t_rrs),
+            ),
+            _dram(),
+        ),
+    }
+
+
+def _attacks():
+    # (attack, classic_physics): classic patterns are evaluated under
+    # blast-radius-1 physics with side-effect-free refresh (the setting
+    # victim-focused defenses are designed for); Half-Double uses the
+    # realistic physics it exploits (refreshes disturb neighbours,
+    # weak direct distance-2 coupling).
+    return {
+        "single-sided": (SingleSidedAttack(10_000), True),
+        "double-sided": (DoubleSidedAttack(10_000), True),
+        "many-sided (TRRespass)": (
+            ManySidedAttack([10_000 + 4 * i for i in range(9)]),
+            True,
+        ),
+        "Half-Double": (HalfDoubleAttack(10_000, dose_interval=64), False),
+    }
+
+
+def main() -> None:
+    defenses = _defenses()
+    rows = []
+    for attack_name, (attack, classic) in _attacks().items():
+        cells = [attack_name]
+        for defense_name, make_defense in defenses.items():
+            harness = AttackHarness(
+                make_defense(),
+                _dram(),
+                t_rh=T_RH,
+                distance2_coupling=0.0 if classic else 0.016,
+                refresh_disturbs_neighbors=not classic,
+            )
+            result = harness.run(attack.rows(), max_activations=ACTS_BUDGET)
+            if result.succeeded:
+                kilo_acts = max(1, result.activations // 1000)
+                cells.append(f"FLIP@{kilo_acts}K acts")
+            else:
+                cells.append("safe")
+        rows.append(cells)
+    print(
+        render_table(
+            ["Attack \\ Defense", *defenses.keys()],
+            rows,
+            title=f"Row Hammer attack gallery (T_RH={T_RH}, budget {ACTS_BUDGET:,} ACTs)",
+        )
+    )
+    print(
+        "\nReading: tracker-based victim refresh (Graphene, Ideal-VFM) "
+        "stops the classic patterns\nbut falls to Half-Double, whose "
+        "flips ride on the mitigation's own refreshes. In-DRAM\nTRR "
+        "also loses to multi-aggressor patterns (the TRRespass "
+        "finding). RRS — the only\naggressor-focused action here — "
+        "survives everything: paper Table 7 / Figure 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

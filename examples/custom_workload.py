@@ -1,0 +1,81 @@
+"""Define a custom workload and evaluate defenses on it.
+
+Shows the full user-facing flow: declare a WorkloadSpec with your own
+footprint / memory intensity / hot-row profile, synthesize traces, and
+compare the no-defense baseline, Graphene (victim-focused), and RRS on
+identical streams.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import RRSConfig, RandomizedRowSwap
+from repro.analysis.perf import records_for_windows, run_workload
+from repro.analysis.report import render_table
+from repro.dram import DRAMConfig
+from repro.mitigations import Graphene, NoMitigation
+from repro.workloads import WorkloadSpec
+
+SCALE = 32
+
+
+def main() -> None:
+    # A made-up key-value-store-like service: moderate footprint, hot
+    # index pages that hammer a few hundred rows.
+    spec = WorkloadSpec(
+        name="kvstore",
+        suite="CUSTOM",
+        footprint_gb=1.2,
+        mpki=6.5,
+        act800_rows=300,
+        ipc_hint=1.4,
+    )
+    print(
+        f"custom workload: {spec.name} — footprint {spec.footprint_gb}GB, "
+        f"MPKI {spec.mpki}, {spec.act800_rows} hot rows\n"
+    )
+
+    dram = DRAMConfig().scaled(SCALE)
+    defenses = {
+        "baseline": NoMitigation(),
+        "Graphene": Graphene(
+            t_rh=4800 // SCALE,
+            mitigation_threshold=12,
+            window_activations=dram.acts_per_refresh_window,
+        ),
+        "RRS": RandomizedRowSwap(
+            RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
+        ),
+    }
+
+    records = records_for_windows(spec, SCALE, max_records=90_000)
+    results = {
+        name: run_workload(spec, defense, scale=SCALE, records_per_core=records)
+        for name, defense in defenses.items()
+    }
+    baseline_ipc = results["baseline"].ipc
+    rows = [
+        [
+            name,
+            f"{metrics.ipc:.3f}",
+            f"{metrics.ipc / baseline_ipc:.4f}",
+            metrics.swaps,
+            metrics.victim_refreshes,
+        ]
+        for name, metrics in results.items()
+    ]
+    print(
+        render_table(
+            ["Defense", "IPC", "Normalized", "Swaps", "Victim refreshes"],
+            rows,
+            title="Custom workload under three configurations",
+        )
+    )
+    print(
+        "\nGraphene pays with victim refreshes, RRS with row swaps — "
+        "but only RRS also stops Half-Double-class patterns "
+        "(see examples/attack_gallery.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Tune the Half-Double attack: how much direct dosing does it need?
+
+The published Half-Double recipe hammers the near-aggressor and adds a
+light direct "dose" of the far aggressor. This example sweeps the dose
+interval against in-DRAM TRR and against RRS, measuring the activations
+each configuration needs to flip a bit — reproducing the attack-economy
+view behind the paper's claim that victim-focused mitigation merely
+*changes* the cheapest pattern while RRS removes it.
+
+Run:  python examples/halfdouble_tuning.py
+"""
+
+from repro.analysis.report import render_table
+from repro.attacks import AttackHarness, HalfDoubleAttack
+from repro.core import RRSConfig, RandomizedRowSwap
+from repro.dram import DRAMConfig
+from repro.mitigations import TargetedRowRefresh
+
+T_RH = 480
+ROWS = 128 * 1024
+BUDGET = 500_000
+DOSE_INTERVALS = (32, 64, 128, 512, 10**9)
+
+
+def _dram():
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=ROWS, row_size_bytes=1024
+    )
+
+
+def _rrs():
+    t_rrs = T_RH // 6
+    return RandomizedRowSwap(
+        RRSConfig(
+            t_rh=T_RH,
+            t_rrs=t_rrs,
+            window_activations=1_300_000,
+            rows_per_bank=ROWS,
+            tracker_entries=1_300_000 // t_rrs,
+            rit_capacity_tuples=2 * (1_300_000 // t_rrs),
+        ),
+        _dram(),
+    )
+
+
+def _cost(mitigation, dose_interval):
+    harness = AttackHarness(mitigation, _dram(), t_rh=T_RH)
+    result = harness.run(
+        HalfDoubleAttack(victim=9000, dose_interval=dose_interval).rows(),
+        max_activations=BUDGET,
+    )
+    if result.succeeded:
+        return f"{result.activations:,} ACTs"
+    return f"no flip in {BUDGET:,}"
+
+
+def main() -> None:
+    rows = []
+    for interval in DOSE_INTERVALS:
+        label = "none (pure refresh-assist)" if interval >= BUDGET else f"1/{interval}"
+        rows.append(
+            [label, _cost(TargetedRowRefresh(rows_per_bank=ROWS), interval),
+             _cost(_rrs(), interval)]
+        )
+    print(
+        render_table(
+            ["Far-aggressor dose", "vs TRR (flip cost)", "vs RRS"],
+            rows,
+            title=f"Half-Double dose tuning (T_RH={T_RH})",
+        )
+    )
+    print(
+        "\nAgainst TRR every dosing level eventually flips — heavier "
+        "dosing just gets there sooner.\nAgainst RRS no dosing level "
+        "succeeds: the near-aggressor keeps being relocated, so the\n"
+        "refresh-assist stream never accumulates at one victim."
+    )
+
+
+if __name__ == "__main__":
+    main()

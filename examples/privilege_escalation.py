@@ -1,0 +1,58 @@
+"""Privilege escalation through page-table bit flips — and its cure.
+
+The paper's threat model (Section 2.1): an unprivileged attacker
+hammers DRAM until a bit flips inside a page-table entry, making one of
+its own PTEs point at a frame it does not own. This example runs the
+classic sprayed-page-table exploit end to end against the unprotected
+system, then against RRS.
+
+Run:  python examples/privilege_escalation.py
+"""
+
+from repro.core import RRSConfig, RandomizedRowSwap
+from repro.dram import DRAMConfig
+from repro.software import PageTableAttackScenario
+
+T_RH = 480  # scaled threshold; mechanics are threshold-relative
+BUDGET = 1_000_000
+
+
+def rrs_defense(dram: DRAMConfig) -> RandomizedRowSwap:
+    t_rrs = T_RH // 6
+    config = RRSConfig(
+        t_rh=T_RH,
+        t_rrs=t_rrs,
+        window_activations=1_300_000,
+        rows_per_bank=dram.rows_per_bank,
+        tracker_entries=1_300_000 // t_rrs,
+        rit_capacity_tuples=2 * (1_300_000 // t_rrs),
+    )
+    return RandomizedRowSwap(config, dram)
+
+
+def main() -> None:
+    print("attacker layout: page-table rows interleaved with hammerable rows\n")
+
+    unprotected = PageTableAttackScenario(t_rh=T_RH, seed=1)
+    outcome = unprotected.run(max_activations=BUDGET)
+    print(f"unprotected DRAM : {outcome}")
+    for entry in outcome.corrupted_entries:
+        print(f"    corrupted PTE: {entry}")
+
+    dram = DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=128 * 1024, row_size_bytes=8192
+    )
+    protected = PageTableAttackScenario(
+        mitigation=rrs_defense(dram), dram=dram, t_rh=T_RH, seed=1
+    )
+    outcome = protected.run(max_activations=BUDGET)
+    print(f"with RRS         : {outcome}")
+    print(
+        "\nRRS relocates the hammered aggressors long before any row "
+        "reaches the flip threshold,\nso the page tables never see a "
+        "single disturbed bit."
+    )
+
+
+if __name__ == "__main__":
+    main()

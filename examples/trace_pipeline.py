@@ -1,0 +1,82 @@
+"""Trace pipeline: raw accesses -> LLC filter -> trace file -> replay.
+
+The workflow the paper's artifact uses (Pin capture, cache filtering,
+USIMM replay), end to end on synthetic raw accesses: generate a raw
+stream whose working set slightly exceeds the LLC (the hmmer/bzip2
+phenomenon), filter it through the shared cache, persist the post-LLC
+trace, and replay it through the full-system simulator under RRS.
+
+Run:  python examples/trace_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import RRSConfig, RandomizedRowSwap, SystemConfig, SystemSimulator
+from repro.dram import DRAMConfig
+from repro.mem.cache import CacheConfig, LastLevelCache
+from repro.utils.rng import DeterministicRng
+from repro.workloads import (
+    RawAccess,
+    filter_through_llc,
+    read_trace,
+    write_trace,
+)
+
+SCALE = 64
+
+
+def raw_accesses(count: int, seed: int = 0):
+    """A thrashing loop: cycles a working set 1.25x the LLC size."""
+    llc_lines = CacheConfig().capacity_bytes // 64
+    working_set = int(1.25 * llc_lines)
+    rng = DeterministicRng(seed, "raw")
+    cursor = 0
+    for _ in range(count):
+        if rng.random() < 0.9:
+            line = cursor
+            cursor = (cursor + 1) % working_set
+        else:
+            line = rng.randint(0, working_set)
+        yield RawAccess(
+            instruction_gap=rng.randint(20, 60),
+            address=line * 64,
+            is_write=rng.random() < 0.25,
+        )
+
+
+def main() -> None:
+    cache = LastLevelCache(CacheConfig())
+    post_llc = list(filter_through_llc(raw_accesses(400_000), cache))
+    print(
+        f"raw accesses : 400,000 -> post-LLC records: {len(post_llc):,} "
+        f"(LLC miss rate {cache.stats.miss_rate:.2f}, "
+        f"{cache.stats.writebacks:,} writebacks)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "thrash.trace"
+        write_trace(path, post_llc)
+        print(f"trace file   : {path.name} ({path.stat().st_size // 1024}KB)")
+
+        dram = DRAMConfig().scaled(SCALE)
+        rrs = RandomizedRowSwap(
+            RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
+        )
+        sim = SystemSimulator(SystemConfig(dram=dram, cores=1), mitigation=rrs)
+        metrics = sim.run([read_trace(path)], workload="thrash")
+
+    print(
+        f"replay (RRS) : IPC {metrics.ipc:.3f}, "
+        f"{metrics.accesses:,} memory accesses, "
+        f"{metrics.activations:,} ACTs, {metrics.swaps} swaps"
+    )
+    print(
+        "\nA working set slightly larger than the LLC misses almost "
+        "everywhere — the bzip2/hmmer\nbehaviour the paper calls out as "
+        "the source of their high swap counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Measure baseline IPC per workload and emit ``ipc_hint`` values.
+
+The synthetic generators need each workload's real (simulated) IPC to
+convert per-window activation targets into hot-access probabilities.
+This script runs the no-mitigation baseline for every Table 3 workload,
+iterating twice (the hint feeds back into the generator), and prints a
+table to paste into ``src/repro/workloads/suites.py``.
+
+Usage: python scripts/calibrate_ipc.py [scale] [records_cap]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+
+from repro.analysis.perf import records_for_windows, run_workload
+from repro.workloads.suites import WORKLOAD_TABLE
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    cap = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    hints = {}
+    for spec in WORKLOAD_TABLE:
+        current = spec
+        ipc = 0.0
+        for _ in range(2):  # iterate: the hint changes the access mix
+            records = min(cap, records_for_windows(current, scale))
+            start = time.time()
+            metrics = run_workload(current, scale=scale, records_per_core=records)
+            ipc = metrics.ipc
+            current = dataclasses.replace(spec, ipc_hint=round(ipc, 2))
+            elapsed = time.time() - start
+        hints[spec.name] = round(ipc, 2)
+        print(f"{spec.name:>12}: ipc={ipc:.2f}  ({records} rec/core, {elapsed:.0f}s)")
+    print()
+    for name, value in hints.items():
+        print(f'    "{name}": {value},')
+
+
+if __name__ == "__main__":
+    main()

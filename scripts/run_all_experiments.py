@@ -1,0 +1,51 @@
+"""Run the full reproduction pipeline (the artifact's run_artifact.sh).
+
+Executes the test suite, then every benchmark (each regenerating one of
+the paper's tables/figures into ``benchmarks/results/``), and prints a
+final index of the archived results.
+
+Usage: python scripts/run_all_experiments.py [--full]
+       --full sets REPRO_FULL=1 (all 78 workloads where applicable)
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(label: str, args: list, env: dict) -> bool:
+    print(f"\n=== {label} ===")
+    start = time.time()
+    result = subprocess.run(args, cwd=REPO, env=env)
+    print(f"=== {label}: {'OK' if result.returncode == 0 else 'FAILED'} "
+          f"({time.time() - start:.0f}s) ===")
+    return result.returncode == 0
+
+
+def main() -> int:
+    env = dict(os.environ)
+    if "--full" in sys.argv:
+        env["REPRO_FULL"] = "1"
+    ok = True
+    ok &= run("unit/integration/property tests",
+              [sys.executable, "-m", "pytest", "tests/", "-q"], env)
+    ok &= run("benchmarks (tables & figures)",
+              [sys.executable, "-m", "pytest", "benchmarks/",
+               "--benchmark-only", "-q"], env)
+
+    results = sorted((REPO / "benchmarks" / "results").glob("*.txt"))
+    print("\narchived results:")
+    for path in results:
+        print(f"  benchmarks/results/{path.name}")
+    print("\nsee EXPERIMENTS.md for the paper-vs-measured discussion")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""repro — a from-scratch reproduction of Randomized Row-Swap (RRS).
+
+Saileshwar, Wang, Qureshi, Nair: "Randomized Row-Swap: Mitigating Row
+Hammer by Breaking Spatial Correlation between Aggressor and Victim
+Rows", ASPLOS 2022.
+
+Quickstart::
+
+    from repro import (
+        DRAMConfig, SystemConfig, SystemSimulator,
+        RRSConfig, RandomizedRowSwap,
+    )
+    from repro.workloads import get_workload, SyntheticTraceGenerator
+
+    spec = get_workload("bzip2")
+    config = SystemConfig()
+    rrs = RandomizedRowSwap(RRSConfig(), config.dram)
+    sim = SystemSimulator(config, mitigation=rrs)
+    traces = [
+        SyntheticTraceGenerator(spec, core_id=i).records(20_000)
+        for i in range(config.cores)
+    ]
+    metrics = sim.run(traces, workload=spec.name)
+    print(metrics.ipc, metrics.swaps)
+
+Package layout mirrors the system inventory in DESIGN.md: ``dram`` is
+the device model, ``mem`` the memory-system simulator, ``workloads``
+the calibrated synthetic traces, ``track`` the tracking structures,
+``core`` the RRS defense itself, ``mitigations`` the baselines,
+``attacks`` the attack generators, and ``analysis`` the paper's
+analytical security/storage/power models.
+"""
+
+from repro.dram import DRAMConfig, DisturbanceModel
+from repro.mem import SystemConfig, SystemSimulator, SimMetrics
+from repro.core import RRSConfig, RandomizedRowSwap
+from repro.mitigations import (
+    Mitigation,
+    NoMitigation,
+    PARA,
+    Graphene,
+    TWiCe,
+    TargetedRowRefresh,
+    IdealVictimRefresh,
+    BlockHammer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRAMConfig",
+    "DisturbanceModel",
+    "SystemConfig",
+    "SystemSimulator",
+    "SimMetrics",
+    "RRSConfig",
+    "RandomizedRowSwap",
+    "Mitigation",
+    "NoMitigation",
+    "PARA",
+    "Graphene",
+    "TWiCe",
+    "TargetedRowRefresh",
+    "IdealVictimRefresh",
+    "BlockHammer",
+    "__version__",
+]

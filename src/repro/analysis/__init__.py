@@ -1,0 +1,55 @@
+"""Analytical models and experiment harness utilities.
+
+* ``security`` — the paper's Section 5 statistical attack model
+  (Equations 1-3, Table 4) plus the Table 1 threshold history.
+* ``buckets`` — buckets-and-balls Monte Carlo: validation of the
+  security model at small scale and the CAT conflict study (Figure 9).
+* ``storage`` — Table 5 storage accounting.
+* ``power`` — Table 6 power accounting.
+* ``perf`` — the run-baseline-and-defense harness every performance
+  bench (Figures 6, 10, 11) goes through.
+* ``report`` — plain-text table rendering shared by benches.
+"""
+
+from repro.analysis.security import (
+    RH_THRESHOLD_HISTORY,
+    AttackModel,
+    attack_iterations,
+    attack_time_seconds,
+    duty_cycle,
+    table4_rows,
+    time_to_failure_probability,
+)
+from repro.analysis.buckets import (
+    BucketsAndBalls,
+    cat_installs_until_conflict,
+    mirage_installs_until_conflict,
+)
+from repro.analysis.storage import StorageOverhead, rrs_storage_overhead
+from repro.analysis.power import PowerModel, PowerReport
+from repro.analysis.perf import WorkloadResult, run_workload, run_pair
+from repro.analysis.report import render_table
+from repro.analysis.charts import bar_chart, s_curve
+
+__all__ = [
+    "RH_THRESHOLD_HISTORY",
+    "AttackModel",
+    "attack_iterations",
+    "attack_time_seconds",
+    "duty_cycle",
+    "table4_rows",
+    "time_to_failure_probability",
+    "BucketsAndBalls",
+    "cat_installs_until_conflict",
+    "mirage_installs_until_conflict",
+    "StorageOverhead",
+    "rrs_storage_overhead",
+    "PowerModel",
+    "PowerReport",
+    "WorkloadResult",
+    "run_workload",
+    "run_pair",
+    "render_table",
+    "bar_chart",
+    "s_curve",
+]

@@ -1,0 +1,87 @@
+"""Plain-text charts so benches can render figure-shaped output.
+
+Two renderers match the paper's figure styles: a horizontal bar chart
+with optional log scale (Figure 5's per-workload swap counts) and a
+multi-series S-curve grid (Figure 11's sorted normalized-performance
+curves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; ``log=True`` uses a log10 axis (>=1)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar chart values must be non-negative")
+
+    def transform(value: float) -> float:
+        if not log:
+            return value
+        return math.log10(max(value, 1.0))
+
+    peak = max((transform(v) for v in values), default=0.0)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        magnitude = transform(value)
+        filled = int(round(width * magnitude / peak)) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:g}{unit}")
+    axis = "log10 scale" if log else "linear scale"
+    lines.append(f"{''.ljust(label_width)}  ({axis}, full bar = {10**peak if log else peak:g}{unit})")
+    return "\n".join(lines)
+
+
+def s_curve(
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Sorted-values S-curve grid, one glyph per series.
+
+    Each series is independently sorted ascending and stretched across
+    the width — the presentation the paper's Figure 11 uses to compare
+    slowdown distributions.
+    """
+    if not series:
+        return "(empty chart)"
+    glyphs = "*o+x@%"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(empty chart)"
+    low, high = min(all_values), max(all_values)
+    span = high - low or 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        ordered = sorted(values)
+        if not ordered:
+            continue
+        glyph = glyphs[index % len(glyphs)]
+        for column in range(width):
+            position = column / max(1, width - 1) * (len(ordered) - 1)
+            value = ordered[int(round(position))]
+            row = int(round((value - low) / span * (height - 1)))
+            grid[height - 1 - row][column] = glyph
+    lines = [f"{high:8.3f} +{''.join(grid[0])}"]
+    for row in grid[1:-1]:
+        lines.append(f"{'':8} |{''.join(row)}"
+                     )
+    lines.append(f"{low:8.3f} +{''.join(grid[-1])}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{'':9}{legend} (each series sorted ascending)")
+    return "\n".join(lines)

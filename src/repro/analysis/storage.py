@@ -1,0 +1,94 @@
+"""Storage-overhead accounting (paper Table 5).
+
+Reproduces the per-bank SRAM budget from first principles:
+
+* RIT: 2 tables x 256 sets x 20 ways, 28-bit entries
+  (valid + lock + source tag (17-8 set bits = 9) + destination (17))
+  = 35 KB per bank.
+* Tracker: 2 tables x 64 sets x 20 ways, 22-bit entries
+  (valid + row tag (17-6 = 11) + 10-bit counter) = 6.9 KB per bank.
+* Swap buffers: two 8 KB row buffers per channel, amortized over the
+  16 banks of the rank = 1 KB per bank.
+
+Total: 42.9 KB per bank, ~686 KB per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RRSConfig
+from repro.core.rit import RIT_CAT_CONFIG
+from repro.dram.config import DRAMConfig
+from repro.track.cat import CATConfig
+
+TRACKER_CAT_CONFIG = CATConfig(sets=64, demand_ways=14, extra_ways=6)
+
+
+def _bits(value: int) -> int:
+    return max(1, (max(1, value) - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class StorageOverhead:
+    """Per-bank SRAM budget decomposition (Table 5)."""
+
+    rit_entry_bits: int
+    rit_entries: int
+    tracker_entry_bits: int
+    tracker_entries: int
+    swap_buffer_bytes_per_bank: float
+
+    @property
+    def rit_bytes(self) -> float:
+        """RIT SRAM per bank."""
+        return self.rit_entry_bits * self.rit_entries / 8.0
+
+    @property
+    def tracker_bytes(self) -> float:
+        """Tracker SRAM per bank."""
+        return self.tracker_entry_bits * self.tracker_entries / 8.0
+
+    @property
+    def total_bytes_per_bank(self) -> float:
+        """Total SRAM per bank (the paper's 42.9 KB)."""
+        return self.rit_bytes + self.tracker_bytes + self.swap_buffer_bytes_per_bank
+
+    @property
+    def total_bits_per_bank(self) -> int:
+        """Total SRAM bits per bank."""
+        return int(self.total_bytes_per_bank * 8)
+
+    def total_bytes_per_rank(self, banks_per_rank: int = 16) -> float:
+        """Total SRAM per rank (the paper's ~686 KB)."""
+        return self.total_bytes_per_bank * banks_per_rank
+
+
+def rrs_storage_overhead(
+    config: RRSConfig = RRSConfig(),
+    dram: DRAMConfig = DRAMConfig(),
+    rit_cat: CATConfig = RIT_CAT_CONFIG,
+    tracker_cat: CATConfig = TRACKER_CAT_CONFIG,
+) -> StorageOverhead:
+    """Compute Table 5 from the structure geometries."""
+    row_bits = dram.row_id_bits  # 17 for 128K rows
+
+    rit_set_bits = _bits(rit_cat.sets)  # 8
+    rit_entry_bits = 1 + 1 + (row_bits - rit_set_bits) + row_bits  # 28
+    rit_entries = rit_cat.tables * rit_cat.sets * rit_cat.ways  # 2x256x20
+
+    tracker_set_bits = _bits(tracker_cat.sets)  # 6
+    counter_bits = _bits(config.t_rrs)  # 10-bit counter for T=800
+    tracker_entry_bits = 1 + (row_bits - tracker_set_bits) + counter_bits  # 22
+    tracker_entries = tracker_cat.tables * tracker_cat.sets * tracker_cat.ways
+
+    # Two row-sized swap buffers per channel, shared by the rank's banks.
+    swap_buffer_bytes = 2 * dram.row_size_bytes / dram.banks_per_rank
+
+    return StorageOverhead(
+        rit_entry_bits=rit_entry_bits,
+        rit_entries=rit_entries,
+        tracker_entry_bits=tracker_entry_bits,
+        tracker_entries=tracker_entries,
+        swap_buffer_bytes_per_bank=swap_buffer_bytes,
+    )

@@ -1,0 +1,31 @@
+"""Row Hammer attack generators and the activation-level attack harness.
+
+Attacks are infinite iterators of logical row addresses; the
+:class:`AttackHarness` drives them through a mitigation into a bank
+with the disturbance fault model at the DRAM's real activation rate
+(one ACT per tRC), charging mitigation costs (victim refreshes, swap
+streaming) against the attacker's activation budget — which is how the
+paper's duty-cycle math emerges naturally.
+"""
+
+from repro.attacks.base import AttackHarness, AttackResult
+from repro.attacks.multibank import MultiBankAttackHarness, MultiBankResult
+from repro.attacks.patterns import (
+    SingleSidedAttack,
+    DoubleSidedAttack,
+    ManySidedAttack,
+    HalfDoubleAttack,
+)
+from repro.attacks.rrs_adaptive import RRSAdaptiveAttack
+
+__all__ = [
+    "AttackHarness",
+    "AttackResult",
+    "MultiBankAttackHarness",
+    "MultiBankResult",
+    "SingleSidedAttack",
+    "DoubleSidedAttack",
+    "ManySidedAttack",
+    "HalfDoubleAttack",
+    "RRSAdaptiveAttack",
+]

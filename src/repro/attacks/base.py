@@ -1,0 +1,154 @@
+"""Attack harness: replays row-activation patterns against one bank.
+
+Operates at activation granularity (the resolution every quantity in
+the paper's security analysis is defined at): each attacker activation
+costs tRC; mitigation actions cost real time too — a victim refresh is
+an ACT+PRE (tRC), a row swap blocks the channel for ~1.46 us per
+physical exchange. The attacker therefore loses activation budget to
+the defenses it triggers, reproducing the paper's duty-cycle effect
+(D ~ 0.925 for the single-bank adaptive attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMConfig
+from repro.dram.faults import BitFlipEvent, DisturbanceModel
+from repro.mitigations.base import Mitigation
+from repro.mitigations.none import NoMitigation
+
+ATTACK_BANK_KEY = (0, 0, 0)
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    activations: int = 0
+    windows: int = 0
+    swaps: int = 0
+    victim_refreshes: int = 0
+    elapsed_ns: float = 0.0
+    flips: List[BitFlipEvent] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when at least one Row Hammer bit flip occurred."""
+        return bool(self.flips)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of elapsed time spent on attacker activations."""
+        if self.elapsed_ns <= 0:
+            return 1.0
+        return min(1.0, self.activations * 45.0 / self.elapsed_ns)
+
+
+class AttackHarness:
+    """One bank + fault model + mitigation, driven by an attack."""
+
+    def __init__(
+        self,
+        mitigation: Optional[Mitigation] = None,
+        dram: DRAMConfig = DRAMConfig(),
+        t_rh: float = 4800.0,
+        distance2_coupling: float = 0.016,
+        refresh_disturbs_neighbors: bool = True,
+        scramble=None,
+    ) -> None:
+        self.dram = dram
+        self.mitigation = mitigation if mitigation is not None else NoMitigation()
+        # Optional vendor row scramble (repro.dram.remap.RowScramble):
+        # disturbance physics happens on *internal wordlines*, while
+        # the mitigation reasons in controller addresses — the paper's
+        # "proprietary DRAM mapping" hazard for victim-focused schemes.
+        self.scramble = scramble
+        self.disturbance = DisturbanceModel(
+            rows=dram.rows_per_bank,
+            t_rh=t_rh,
+            distance2_coupling=distance2_coupling,
+            refresh_disturbs_neighbors=refresh_disturbs_neighbors,
+        )
+        self.bank = Bank(dram, disturbance=self.disturbance)
+        self.now_ns = 0.0
+        self.window_index = 0
+        self.result = AttackResult()
+
+    def run(
+        self,
+        rows: Iterable[int],
+        max_activations: Optional[int] = None,
+        max_windows: Optional[int] = None,
+        stop_on_flip: bool = True,
+    ) -> AttackResult:
+        """Drive logical-row activations until a limit or a bit flip.
+
+        ``rows`` is typically an infinite generator; bound the run with
+        ``max_activations`` and/or ``max_windows``.
+        """
+        if max_activations is None and max_windows is None:
+            raise ValueError("bound the attack with max_activations or max_windows")
+        window_ns = float(self.dram.refresh_window_ns)
+        for logical_row in rows:
+            if max_activations is not None and self.result.activations >= max_activations:
+                break
+            if max_windows is not None and self.window_index >= max_windows:
+                break
+
+            # Window rollover by wall-clock time.
+            while self.now_ns >= (self.window_index + 1) * window_ns:
+                self.window_index += 1
+                self.bank.end_window()
+                self.mitigation.on_window_end(self.window_index)
+                self.result.windows = self.window_index
+
+            physical_row = self.mitigation.route(ATTACK_BANK_KEY, logical_row)
+            delay = self.mitigation.pre_activate_delay_ns(
+                ATTACK_BANK_KEY, physical_row, self.now_ns
+            )
+            self.now_ns += delay + self.dram.t_rc
+            wordline = (
+                physical_row
+                if self.scramble is None
+                else self.scramble.to_internal(physical_row)
+            )
+            self.bank.activate(wordline, self.now_ns)
+            self.result.activations += 1
+
+            action = self.mitigation.on_activation(
+                ATTACK_BANK_KEY, logical_row, physical_row, self.now_ns
+            )
+            if not action.is_noop:
+                for victim in action.refresh_rows:
+                    if 0 <= victim < self.dram.rows_per_bank:
+                        target = (
+                            victim
+                            if self.scramble is None
+                            else self.scramble.to_internal(victim)
+                        )
+                        self.bank.refresh_row(target)
+                        self.result.victim_refreshes += 1
+                        self.now_ns += self.dram.t_rc
+                for row_a, row_b in action.swaps:
+                    # Streaming re-activates (and restores) both rows.
+                    if self.scramble is not None:
+                        row_a = self.scramble.to_internal(row_a)
+                        row_b = self.scramble.to_internal(row_b)
+                    self.disturbance.on_activate(row_a, count=2)
+                    self.disturbance.on_activate(row_b, count=2)
+                if action.swaps:
+                    self.result.swaps += len(action.swaps)
+                if action.refresh_all_bank:
+                    self.disturbance.refresh_all()
+                self.now_ns += action.channel_block_ns
+
+            if stop_on_flip and self.disturbance.flips:
+                break
+
+        self.result.elapsed_ns = self.now_ns
+        self.result.flips = list(self.disturbance.flips)
+        self.result.windows = self.window_index
+        return self.result

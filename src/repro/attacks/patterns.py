@@ -1,0 +1,119 @@
+"""Classic Row Hammer access patterns (paper Figure 1 and Section 2.5).
+
+Each attack is an infinite iterator of logical rows for the
+:class:`AttackHarness`. Patterns:
+
+* **Single-sided**: hammer one aggressor; victims are its neighbours.
+* **Double-sided**: alternate the two rows sandwiching the victim —
+  the victim collects disturbance from both sides, halving the needed
+  per-aggressor activations.
+* **Many-sided**: cycle over N aggressors (the TRRespass family),
+  designed to overwhelm sampling-based TRR trackers.
+* **Half-Double**: hammer the *near* aggressor (distance 2 from the
+  victim) so victim-focused mitigation keeps refreshing the *far*
+  aggressor (distance 1) — each refresh is an activation of the far
+  aggressor, and a light direct "dosing" of the far aggressor tops it
+  up. Bit flips land beyond the defended blast radius.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+class SingleSidedAttack:
+    """Classic single-aggressor hammering."""
+
+    def __init__(self, aggressor: int) -> None:
+        if aggressor < 0:
+            raise ValueError("aggressor row must be non-negative")
+        self.aggressor = aggressor
+
+    def rows(self) -> Iterator[int]:
+        """Infinite stream of the aggressor row."""
+        while True:
+            yield self.aggressor
+
+    @property
+    def victims(self) -> Sequence[int]:
+        """Rows the pattern aims to flip."""
+        return (self.aggressor - 1, self.aggressor + 1)
+
+
+class DoubleSidedAttack:
+    """Sandwich hammering of victim-1 / victim+1."""
+
+    def __init__(self, victim: int) -> None:
+        if victim < 1:
+            raise ValueError("victim needs aggressors on both sides")
+        self.victim = victim
+
+    def rows(self) -> Iterator[int]:
+        """Alternating stream of the two aggressors."""
+        low, high = self.victim - 1, self.victim + 1
+        while True:
+            yield low
+            yield high
+
+    @property
+    def victims(self) -> Sequence[int]:
+        """The sandwiched row."""
+        return (self.victim,)
+
+
+class ManySidedAttack:
+    """TRRespass-style rotation over many aggressors."""
+
+    def __init__(self, aggressors: Sequence[int]) -> None:
+        if len(aggressors) < 2:
+            raise ValueError("many-sided attack needs several aggressors")
+        self.aggressors = list(aggressors)
+
+    def rows(self) -> Iterator[int]:
+        """Round-robin over the aggressor set."""
+        while True:
+            yield from self.aggressors
+
+    @property
+    def victims(self) -> Sequence[int]:
+        """Neighbours of every aggressor."""
+        out = []
+        for a in self.aggressors:
+            out.extend((a - 1, a + 1))
+        return tuple(out)
+
+
+class HalfDoubleAttack:
+    """The Google Half-Double pattern (paper Figure 1(c)).
+
+    Victim V, far aggressor F = V+1, near aggressor N = V+2. The near
+    aggressor is hammered continuously; every ``dose_interval``
+    activations the far aggressor gets one direct activation. The bulk
+    of F's effective activations comes from the defense's own
+    mitigative refreshes of F (triggered by N's hammering).
+    """
+
+    def __init__(self, victim: int, dose_interval: int = 64) -> None:
+        if victim < 0:
+            raise ValueError("victim row must be non-negative")
+        if dose_interval < 1:
+            raise ValueError("dose interval must be positive")
+        self.victim = victim
+        self.far = victim + 1
+        self.near = victim + 2
+        self.dose_interval = dose_interval
+
+    def rows(self) -> Iterator[int]:
+        """Hammer near; trickle far every ``dose_interval`` ACTs."""
+        count = 0
+        while True:
+            count += 1
+            if count % self.dose_interval == 0:
+                yield self.far
+            else:
+                yield self.near
+
+    @property
+    def victims(self) -> Sequence[int]:
+        """The distance-2 target."""
+        return (self.victim,)

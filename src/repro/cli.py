@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's main entry points:
+
+* ``run``      — timing simulation of a workload under a defense
+* ``attack``   — an attack pattern against a defense (flip or not?)
+* ``security`` — the Section 5 analytical attack-cost table
+* ``info``     — list available workloads, defenses, and attacks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.perf import records_for_windows, run_pair
+from repro.analysis.report import render_table
+from repro.analysis.security import attack_iterations, duty_cycle
+from repro.attacks import (
+    AttackHarness,
+    DoubleSidedAttack,
+    HalfDoubleAttack,
+    ManySidedAttack,
+    SingleSidedAttack,
+)
+from repro.core import RRSConfig, RandomizedRowSwap
+from repro.dram import DRAMConfig
+from repro.mitigations import (
+    BlockHammer,
+    BlockHammerConfig,
+    Graphene,
+    IdealVictimRefresh,
+    NoMitigation,
+    TWiCe,
+    TargetedRowRefresh,
+)
+from repro.utils.units import format_seconds
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+DEFENSES = ("none", "rrs", "graphene", "twice", "trr", "ideal-vfm", "blockhammer")
+ATTACKS = ("single", "double", "many", "half-double")
+
+
+def _build_defense(name: str, scale: int, t_rh: int, rows: int):
+    dram = DRAMConfig().scaled(scale)
+    scaled_t_rh = max(12, t_rh // scale)
+    if name == "none":
+        return NoMitigation()
+    if name == "rrs":
+        return RandomizedRowSwap(
+            RRSConfig.for_threshold(t_rh, DRAMConfig()).scaled(scale), dram
+        )
+    if name == "graphene":
+        return Graphene(
+            t_rh=scaled_t_rh,
+            window_activations=dram.acts_per_refresh_window,
+            rows_per_bank=rows,
+        )
+    if name == "twice":
+        return TWiCe(t_rh=scaled_t_rh, window_ns=dram.refresh_window_ns, rows_per_bank=rows)
+    if name == "trr":
+        return TargetedRowRefresh(rows_per_bank=rows)
+    if name == "ideal-vfm":
+        return IdealVictimRefresh(t_rh=scaled_t_rh, rows_per_bank=rows)
+    if name == "blockhammer":
+        return BlockHammer(
+            BlockHammerConfig(
+                t_rh=scaled_t_rh,
+                blacklist_threshold=max(2, 512 // scale),
+                window_ns=dram.refresh_window_ns,
+            )
+        )
+    raise ValueError(f"unknown defense {name!r}")
+
+
+def _attack_defense(name: str, t_rh: int, rows: int):
+    """Full-threshold defenses for the activation-level attack path."""
+    if name == "none":
+        return NoMitigation()
+    if name == "rrs":
+        t_rrs = max(2, t_rh // 6)
+        dram = DRAMConfig(
+            channels=1, banks_per_rank=1, rows_per_bank=rows, row_size_bytes=1024
+        )
+        return RandomizedRowSwap(
+            RRSConfig(
+                t_rh=t_rh,
+                t_rrs=t_rrs,
+                window_activations=1_300_000,
+                rows_per_bank=rows,
+                tracker_entries=1_300_000 // t_rrs,
+                rit_capacity_tuples=2 * (1_300_000 // t_rrs),
+            ),
+            dram,
+        )
+    if name == "graphene":
+        return Graphene(t_rh=t_rh, mitigation_threshold=t_rh // 4, rows_per_bank=rows)
+    if name == "twice":
+        return TWiCe(t_rh=t_rh, mitigation_threshold=t_rh // 4, rows_per_bank=rows)
+    if name == "trr":
+        return TargetedRowRefresh(rows_per_bank=rows)
+    if name == "ideal-vfm":
+        return IdealVictimRefresh(
+            t_rh=t_rh, mitigation_threshold=t_rh // 4, rows_per_bank=rows
+        )
+    if name == "blockhammer":
+        return BlockHammer(BlockHammerConfig(t_rh=t_rh, blacklist_threshold=t_rh // 8))
+    raise ValueError(f"unknown defense {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args) -> int:
+    spec = get_workload(args.workload)
+    scale = args.scale
+
+    def factory():
+        return _build_defense(args.defense, scale, args.t_rh, DRAMConfig().rows_per_bank)
+
+    records = args.records or records_for_windows(spec, scale, max_records=80_000)
+    result = run_pair(spec, factory, scale=scale, records_per_core=records)
+    print(
+        render_table(
+            ["metric", "baseline", args.defense],
+            [
+                ["IPC", f"{result.baseline.ipc:.3f}", f"{result.defended.ipc:.3f}"],
+                ["normalized", "1.0000", f"{result.normalized_performance:.4f}"],
+                ["swaps", result.baseline.swaps, result.defended.swaps],
+                [
+                    "victim refreshes",
+                    result.baseline.victim_refreshes,
+                    result.defended.victim_refreshes,
+                ],
+                [
+                    "throttle delay (us)",
+                    0,
+                    f"{result.defended.throttle_delay_ns / 1000:.1f}",
+                ],
+            ],
+            title=f"{spec.name} under {args.defense} (epoch scale 1/{scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    rows = 128 * 1024
+    attacks = {
+        "single": SingleSidedAttack(10_000),
+        "double": DoubleSidedAttack(10_000),
+        "many": ManySidedAttack([10_000 + 4 * i for i in range(9)]),
+        "half-double": HalfDoubleAttack(10_000, dose_interval=64),
+    }
+    attack = attacks[args.pattern]
+    classic = args.pattern != "half-double"
+    dram = DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=rows, row_size_bytes=1024
+    )
+    harness = AttackHarness(
+        _attack_defense(args.defense, args.t_rh, rows),
+        dram,
+        t_rh=args.t_rh,
+        distance2_coupling=0.0 if classic else 0.016,
+        refresh_disturbs_neighbors=not classic,
+    )
+    result = harness.run(attack.rows(), max_activations=args.budget)
+    verdict = "BIT FLIP" if result.succeeded else "no flips"
+    print(
+        f"{args.pattern} vs {args.defense} (T_RH={args.t_rh}): {verdict} "
+        f"after {result.activations:,} ACTs "
+        f"({result.swaps} swaps, {result.victim_refreshes} victim refreshes)"
+    )
+    if result.flips:
+        print(f"  first flip: {result.flips[0]}")
+    return 0 if not result.succeeded or args.defense == "none" else 1
+
+
+def _cmd_security(args) -> int:
+    rows = []
+    for k in args.k:
+        t_rrs = args.t_rh // k
+        if t_rrs < 1:
+            continue
+        iterations = attack_iterations(t_rrs, t_rrs * k)
+        rows.append(
+            [
+                f"{t_rrs} (k={k})",
+                f"{duty_cycle(t_rrs):.3f}",
+                f"{iterations:.2e}",
+                format_seconds(iterations * 0.064),
+            ]
+        )
+    print(
+        render_table(
+            ["T_RRS", "duty cycle", "AT_iter", "attack time"],
+            rows,
+            title=f"Adaptive-attack cost at T_RH={args.t_rh} (paper Eq. 3)",
+        )
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    print("defenses:", ", ".join(DEFENSES))
+    print("attacks :", ", ".join(ATTACKS))
+    print(f"workloads ({len(ALL_WORKLOADS)}):")
+    for spec in ALL_WORKLOADS:
+        tag = " [mix]" if spec.is_mix else ""
+        print(
+            f"  {spec.name:<14} {spec.suite:<10} footprint {spec.footprint_gb:>5.2f}GB"
+            f"  MPKI {spec.mpki:>6.2f}  ACT-800+ rows {spec.act800_rows}{tag}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Randomized Row-Swap reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload under a defense")
+    run.add_argument("--workload", default="bzip2")
+    run.add_argument("--defense", choices=DEFENSES, default="rrs")
+    run.add_argument("--scale", type=int, default=32)
+    run.add_argument("--t-rh", type=int, default=4800)
+    run.add_argument("--records", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    attack = sub.add_parser("attack", help="run an attack against a defense")
+    attack.add_argument("--pattern", choices=ATTACKS, default="half-double")
+    attack.add_argument("--defense", choices=DEFENSES, default="rrs")
+    attack.add_argument("--t-rh", type=int, default=480)
+    attack.add_argument("--budget", type=int, default=400_000)
+    attack.set_defaults(func=_cmd_attack)
+
+    security = sub.add_parser("security", help="analytical attack-cost table")
+    security.add_argument("--t-rh", type=int, default=4800)
+    security.add_argument("--k", type=int, nargs="+", default=[5, 6, 7])
+    security.set_defaults(func=_cmd_security)
+
+    info = sub.add_parser("info", help="list workloads/defenses/attacks")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

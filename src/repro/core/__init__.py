@@ -1,0 +1,44 @@
+"""Randomized Row-Swap (RRS) — the paper's primary contribution.
+
+The defense couples three pieces:
+
+* a **Hot-Row Tracker** (``repro.track``) that flags any row crossing a
+  multiple of the swap threshold T_RRS within a refresh window,
+* a **Row Indirection Table** (:class:`RowIndirectionTable`) holding the
+  logical->physical mapping of swapped rows, consulted on every access,
+* a **swap engine** (:class:`SwapEngine`) that streams row contents
+  through per-channel swap buffers, charging the channel-blocking
+  latencies of Section 4.4.
+
+:class:`RandomizedRowSwap` wires them into the memory controller's
+mitigation interface.
+"""
+
+from repro.core.config import RRSConfig
+from repro.core.prng import PrinceStylePRNG, keyed_hash, splitmix64
+from repro.core.rit import RITEntry, RowIndirectionTable
+from repro.core.swap import SwapEngine, SwapOp
+from repro.core.rrs import RandomizedRowSwap, SwapRateDetector
+from repro.core.probabilistic import (
+    ProbabilisticRRS,
+    expected_swaps_per_window,
+    probability_for_threshold,
+)
+from repro.core.rowclone import RowCloneSwapEngine
+
+__all__ = [
+    "RRSConfig",
+    "PrinceStylePRNG",
+    "keyed_hash",
+    "splitmix64",
+    "RITEntry",
+    "RowIndirectionTable",
+    "SwapEngine",
+    "SwapOp",
+    "RandomizedRowSwap",
+    "SwapRateDetector",
+    "ProbabilisticRRS",
+    "expected_swaps_per_window",
+    "probability_for_threshold",
+    "RowCloneSwapEngine",
+]

@@ -1,0 +1,148 @@
+"""Probabilistic RRS — the paper's footnote-1 design point.
+
+Instead of tracking activation counts, swap the activated row with
+probability ``p`` on every ACT (PARA's trigger applied to RRS's
+mitigating action). Stateless and tiny — but the paper dismisses it for
+low thresholds because matching the tracker's per-row guarantee
+("swapped within T_RRS activations with high confidence") requires
+``p`` large enough that the *expected* swap rate explodes:
+
+* tracker-based RRS swaps at most once per T_RRS activations of a hot
+  row — benign workloads swap ~68 times per 64 ms;
+* probabilistic RRS with failure probability ``f`` per T_RRS-activation
+  burst needs p = 1 - f^(1/T_RRS), and then *every* activation of
+  *every* row carries that swap probability: the expected swaps per
+  window are p * ACT_max, thousands of times the tracker's rate.
+
+:func:`expected_swaps_per_window` quantifies exactly that trade-off for
+the ablation bench; :class:`ProbabilisticRRS` is a working mitigation
+so the claim can also be measured in simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.rit import RowIndirectionTable
+from repro.core.swap import SwapEngine
+from repro.dram.config import DRAMConfig
+from repro.mitigations.base import (
+    BankKey,
+    Mitigation,
+    MitigationOutcome,
+    NOOP_OUTCOME,
+)
+from repro.core.prng import PrinceStylePRNG
+from repro.utils.rng import DeterministicRng
+
+
+def probability_for_threshold(t_rrs: int, failure_probability: float = 1e-6) -> float:
+    """The per-ACT swap probability matching the tracker's guarantee.
+
+    A hot row must be swapped within T_RRS activations except with
+    probability ``f``: (1-p)^T_RRS <= f.
+    """
+    if t_rrs <= 0:
+        raise ValueError("T_RRS must be positive")
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError("failure probability must be in (0, 1)")
+    return 1.0 - math.exp(math.log(failure_probability) / t_rrs)
+
+
+def expected_swaps_per_window(
+    t_rrs: int,
+    acts_per_window: int = 1_360_000,
+    failure_probability: float = 1e-6,
+) -> float:
+    """Expected swaps per bank per window for probabilistic RRS.
+
+    Every activation of every row rolls the dice, so the swap rate is
+    p * ACT_max regardless of how benign the workload is — the paper's
+    footnote-1 scalability objection.
+    """
+    return probability_for_threshold(t_rrs, failure_probability) * acts_per_window
+
+
+@dataclass
+class _BankState:
+    rit: RowIndirectionTable
+    prng: PrinceStylePRNG
+
+
+class ProbabilisticRRS(Mitigation):
+    """Stateless swap trigger: swap with probability p on each ACT."""
+
+    name = "Prob-RRS"
+
+    def __init__(
+        self,
+        probability: float,
+        dram: DRAMConfig = DRAMConfig(),
+        rit_capacity_tuples: int = 3400,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self.probability = probability
+        self.dram = dram
+        self.rit_capacity_tuples = rit_capacity_tuples
+        self.total_swaps = 0
+        self._rng = DeterministicRng(seed, "prob-rrs")
+        self._banks: Dict[BankKey, _BankState] = {}
+        self._engine = SwapEngine(dram)
+        self._seed = seed
+
+    @classmethod
+    def for_threshold(
+        cls,
+        t_rrs: int,
+        failure_probability: float = 1e-6,
+        **kwargs,
+    ) -> "ProbabilisticRRS":
+        """Match the tracker guarantee at threshold ``t_rrs``."""
+        return cls(probability_for_threshold(t_rrs, failure_probability), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Mitigation interface
+    # ------------------------------------------------------------------
+    def route(self, bank_key: BankKey, row: int) -> int:
+        """RIT lookup (same structure as tracked RRS)."""
+        state = self._banks.get(bank_key)
+        return row if state is None else state.rit.route(row)
+
+    def on_activation(
+        self, bank_key: BankKey, row: int, physical_row: int, now_ns: float
+    ) -> MitigationOutcome:
+        """Roll the dice; swap to a random same-bank row on success."""
+        if self._rng.random() >= self.probability:
+            return NOOP_OUTCOME
+        state = self._bank(bank_key)
+        destination = state.prng.pick_row(
+            self.dram.rows_per_bank,
+            lambda r: r == row or state.rit.is_swapped(r),
+        )
+        ops = state.rit.swap(row, destination)
+        blocked = self._engine.execute(ops)
+        self.total_swaps += 1
+        return MitigationOutcome(
+            channel_block_ns=blocked,
+            swaps=[(op.phys_a, op.phys_b) for op in ops],
+        )
+
+    def on_window_end(self, window_index: int) -> None:
+        """Unlock RIT entries (no tracker to reset)."""
+        for state in self._banks.values():
+            state.rit.end_window()
+
+    # ------------------------------------------------------------------
+    def _bank(self, bank_key: BankKey) -> _BankState:
+        state = self._banks.get(bank_key)
+        if state is None:
+            state = _BankState(
+                rit=RowIndirectionTable(capacity_tuples=self.rit_capacity_tuples),
+                prng=PrinceStylePRNG(key=hash(bank_key) ^ self._seed),
+            )
+            self._banks[bank_key] = state
+        return state

@@ -1,0 +1,36 @@
+"""DRAM device model: geometry, timing, refresh, and the Row Hammer
+disturbance fault model.
+
+This package plays the role USIMM's DRAM model plays in the paper: it
+knows nothing about schedulers or mitigations, only about what a DDR4
+device does — banks with row buffers, timing constraints (tRC/tRCD/tRP/
+tCAS/tRFC/tREFI), periodic refresh, and charge disturbance between
+physically adjacent rows.
+"""
+
+from repro.dram.config import DRAMConfig, DDR4_3200_DEFAULT
+from repro.dram.commands import Command, CommandKind
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.bank import Bank
+from repro.dram.timing import BankTimingState
+from repro.dram.device import Channel, Rank
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.faults import BitFlipEvent, DisturbanceModel
+from repro.dram.remap import RowScramble
+
+__all__ = [
+    "DRAMConfig",
+    "DDR4_3200_DEFAULT",
+    "Command",
+    "CommandKind",
+    "AddressMapper",
+    "DecodedAddress",
+    "Bank",
+    "BankTimingState",
+    "Channel",
+    "Rank",
+    "RefreshScheduler",
+    "BitFlipEvent",
+    "DisturbanceModel",
+    "RowScramble",
+]

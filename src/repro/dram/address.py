@@ -1,0 +1,84 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The mapper implements the open-page-friendly interleaving USIMM uses:
+low-order bits select the byte within a line, then the channel, then the
+bank, then the column (line within the row), and the high bits select
+the row. Consecutive lines therefore stream within one row, and
+consecutive rows of the same bank are ``channels * banks`` rows apart in
+the physical address space — which is why the memory controller cannot
+know DRAM adjacency without this mapping, one of the paper's arguments
+against victim-focused mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+
+
+def _log2_exact(value: int, name: str) -> int:
+    bits = value.bit_length() - 1
+    if value <= 0 or (1 << bits) != value:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return bits
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """DRAM coordinates for one physical address."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_key(self) -> tuple:
+        """Hashable identity of the bank this address lives in."""
+        return (self.channel, self.rank, self.bank)
+
+
+class AddressMapper:
+    """Bidirectional physical-address <-> (channel, rank, bank, row, col)."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._line_bits = _log2_exact(config.line_size_bytes, "line size")
+        self._channel_bits = _log2_exact(config.channels, "channel count")
+        self._rank_bits = _log2_exact(config.ranks_per_channel, "rank count")
+        self._bank_bits = _log2_exact(config.banks_per_rank, "bank count")
+        self._column_bits = _log2_exact(config.lines_per_row, "lines per row")
+        self._row_bits = _log2_exact(config.rows_per_bank, "rows per bank")
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a physical byte address into DRAM coordinates."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        bits = address >> self._line_bits
+        channel = bits & (self.config.channels - 1)
+        bits >>= self._channel_bits
+        rank = bits & (self.config.ranks_per_channel - 1)
+        bits >>= self._rank_bits
+        bank = bits & (self.config.banks_per_rank - 1)
+        bits >>= self._bank_bits
+        column = bits & (self.config.lines_per_row - 1)
+        bits >>= self._column_bits
+        row = bits & (self.config.rows_per_bank - 1)
+        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (byte offset within the line is 0)."""
+        bits = decoded.row
+        bits = (bits << self._column_bits) | decoded.column
+        bits = (bits << self._bank_bits) | decoded.bank
+        bits = (bits << self._rank_bits) | decoded.rank
+        bits = (bits << self._channel_bits) | decoded.channel
+        return bits << self._line_bits
+
+    def row_address(self, channel: int, rank: int, bank: int, row: int) -> int:
+        """Physical address of the first line of a given row."""
+        return self.encode(
+            DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=0)
+        )

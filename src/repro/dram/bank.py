@@ -1,0 +1,101 @@
+"""Bank model: timing state + per-window activation accounting +
+optional disturbance (fault) model.
+
+The bank is the unit every Row Hammer quantity in the paper is defined
+over: ACT_max is per bank per 64 ms, swaps pick destinations within the
+bank, and the adaptive attack randomizes over the 128K rows of one bank.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.dram.config import DRAMConfig
+from repro.dram.faults import DisturbanceModel
+from repro.dram.timing import AccessOutcome, BankTimingState
+
+
+class Bank:
+    """One DRAM bank: row buffer, timing, activation counts, faults."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        channel: int = 0,
+        rank: int = 0,
+        index: int = 0,
+        disturbance: Optional[DisturbanceModel] = None,
+    ) -> None:
+        self.config = config
+        self.channel = channel
+        self.rank = rank
+        self.index = index
+        self.timing = BankTimingState(config=config)
+        self.disturbance = disturbance
+        # Per-window activation counts keyed by *physical* row.
+        self.window_act_counts: Counter = Counter()
+        self.total_activations = 0
+        self.windows_elapsed = 0
+
+    # ------------------------------------------------------------------
+    # Data-path events
+    # ------------------------------------------------------------------
+    def access(self, row: int, now_ns: float) -> AccessOutcome:
+        """Column access to ``row``; records an ACT on row-buffer miss."""
+        self._check_row(row)
+        outcome = self.timing.access(row, now_ns)
+        if outcome.activated:
+            self._note_activation(row)
+        return outcome
+
+    def activate(self, row: int, now_ns: float = 0.0) -> float:
+        """Explicit ACT (attack drivers, swap streaming); returns time."""
+        self._check_row(row)
+        act_at = self.timing.activate_only(row, now_ns)
+        self._note_activation(row)
+        return act_at
+
+    def refresh_row(self, row: int) -> None:
+        """Targeted mitigative refresh of a physical row."""
+        self._check_row(row)
+        if self.disturbance is not None:
+            self.disturbance.on_refresh_row(row)
+
+    def end_window(self) -> None:
+        """Refresh-window rollover: counts reset, charge restored."""
+        self.window_act_counts.clear()
+        self.windows_elapsed += 1
+        if self.disturbance is not None:
+            self.disturbance.end_window()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def acts_this_window(self, row: int) -> int:
+        """Activations of a physical row in the current window."""
+        return self.window_act_counts.get(row, 0)
+
+    def rows_with_at_least(self, threshold: int) -> list:
+        """Physical rows with >= ``threshold`` ACTs this window."""
+        return [row for row, count in self.window_act_counts.items() if count >= threshold]
+
+    @property
+    def key(self) -> tuple:
+        """Hashable bank identity (channel, rank, index)."""
+        return (self.channel, self.rank, self.index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.config.rows_per_bank:
+            raise ValueError(
+                f"row {row} out of range [0, {self.config.rows_per_bank})"
+            )
+
+    def _note_activation(self, row: int) -> None:
+        self.window_act_counts[row] += 1
+        self.total_activations += 1
+        if self.disturbance is not None:
+            self.disturbance.on_activate(row)

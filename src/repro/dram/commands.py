@@ -1,0 +1,42 @@
+"""DDR command vocabulary.
+
+The memory controller legalizes and timestamps these; the bank model
+applies their state effects. Only the commands the paper's system needs
+are modelled: activate, precharge, column read/write, refresh, and the
+row-stream transfers used by the RRS swap engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommandKind(enum.Enum):
+    """The DDR4 command subset used by the simulator."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+    ROW_STREAM = "STREAM"  # whole-row transfer for swap buffers
+
+
+@dataclass(frozen=True)
+class Command:
+    """One timestamped DDR command targeting a bank/row/column."""
+
+    kind: CommandKind
+    channel: int
+    rank: int
+    bank: int
+    row: int = 0
+    column: int = 0
+    issue_time_ns: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.value}@{self.issue_time_ns:.0f}ns "
+            f"ch{self.channel}/rk{self.rank}/ba{self.bank}/row{self.row}"
+        )

@@ -1,0 +1,115 @@
+"""Rank and channel composition.
+
+A ``Rank`` owns its banks and is the refresh unit (tRFC blocks the whole
+rank). A ``Channel`` owns its ranks and the shared data bus — which is
+why the RRS swap operation blocks the channel for its duration (the row
+streaming occupies the bus, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMConfig
+from repro.dram.faults import DisturbanceModel
+
+
+class Rank:
+    """One rank: the set of banks sharing refresh timing."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        channel: int = 0,
+        index: int = 0,
+        with_faults: bool = False,
+        t_rh: float = 4800.0,
+    ) -> None:
+        self.config = config
+        self.channel = channel
+        self.index = index
+        self.banks: List[Bank] = []
+        for bank_index in range(config.banks_per_rank):
+            disturbance = (
+                DisturbanceModel(rows=config.rows_per_bank, t_rh=t_rh)
+                if with_faults
+                else None
+            )
+            self.banks.append(
+                Bank(
+                    config,
+                    channel=channel,
+                    rank=index,
+                    index=bank_index,
+                    disturbance=disturbance,
+                )
+            )
+
+    def block_for_refresh(self, start_ns: float) -> float:
+        """Hold every bank busy for tRFC; returns the end time."""
+        end = start_ns + self.config.t_rfc
+        for bank in self.banks:
+            bank.timing.block_until(end)
+        return end
+
+    def end_window(self) -> None:
+        """Refresh-window rollover for every bank in the rank."""
+        for bank in self.banks:
+            bank.end_window()
+
+    @property
+    def flip_count(self) -> int:
+        """Bit flips recorded across all banks of the rank."""
+        return sum(
+            bank.disturbance.flip_count
+            for bank in self.banks
+            if bank.disturbance is not None
+        )
+
+
+class Channel:
+    """One channel: ranks plus the shared data bus."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        index: int = 0,
+        with_faults: bool = False,
+        t_rh: float = 4800.0,
+    ) -> None:
+        self.config = config
+        self.index = index
+        self.bus_free_ns = 0.0
+        self.ranks: List[Rank] = [
+            Rank(config, channel=index, index=r, with_faults=with_faults, t_rh=t_rh)
+            for r in range(config.ranks_per_channel)
+        ]
+
+    def bank(self, rank: int, bank: int) -> Bank:
+        """The bank at (rank, bank) on this channel."""
+        return self.ranks[rank].banks[bank]
+
+    def iter_banks(self) -> Iterator[Bank]:
+        """All banks on this channel."""
+        for rank in self.ranks:
+            yield from rank.banks
+
+    def reserve_bus(self, earliest_ns: float, duration_ns: float) -> float:
+        """Claim the data bus for ``duration``; returns the start time."""
+        start = max(earliest_ns, self.bus_free_ns)
+        self.bus_free_ns = start + duration_ns
+        return start
+
+    def block_channel(self, start_ns: float, duration_ns: float) -> float:
+        """Stall the bus and every bank (row-swap streaming); returns end."""
+        end = max(start_ns, self.bus_free_ns) + duration_ns
+        self.bus_free_ns = end
+        for bank in self.iter_banks():
+            bank.timing.block_until(end)
+        return end
+
+    def end_window(self) -> None:
+        """Refresh-window rollover for every rank."""
+        for rank in self.ranks:
+            rank.end_window()

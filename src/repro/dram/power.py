@@ -1,0 +1,128 @@
+"""Device-level DRAM power model (the role USIMM's power model plays).
+
+Standard IDD-current methodology (Micron DDR4 power technical note):
+each operation's energy is the excess current it draws over the standby
+baseline, times VDD, times its duration:
+
+* activate/precharge pair:  (IDD0 - IDD3N) * VDD * tRC
+* read burst (one line):    (IDD4R - IDD3N) * VDD * t_burst
+* write burst (one line):   (IDD4W - IDD3N) * VDD * t_burst
+* refresh burst:            (IDD5B - IDD2N) * VDD * tRFC
+* background:               IDD3N * VDD while any bank is open,
+                            IDD2N * VDD precharged (we use a single
+                            configurable active fraction)
+
+The Table 6 bench feeds controller activity counters through this model
+to decompose baseline power and the row-swap overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass(frozen=True)
+class IDDCurrents:
+    """DDR4-3200 8Gb-device-class currents (mA) and supply (V)."""
+
+    vdd: float = 1.2
+    idd0: float = 55.0  # one-bank ACT-PRE cycling
+    idd2n: float = 30.0  # precharge standby
+    idd3n: float = 40.0  # active standby
+    idd4r: float = 140.0  # read burst
+    idd4w: float = 130.0  # write burst
+    idd5b: float = 190.0  # refresh burst
+
+
+class DramPowerModel:
+    """Energy/power accounting for one rank."""
+
+    def __init__(
+        self,
+        config: DRAMConfig = DRAMConfig(),
+        currents: IDDCurrents = IDDCurrents(),
+    ) -> None:
+        self.config = config
+        self.currents = currents
+
+    # ------------------------------------------------------------------
+    # Per-operation energies (picojoules)
+    # ------------------------------------------------------------------
+    @property
+    def energy_act_pre_pj(self) -> float:
+        """One activate+precharge pair."""
+        c = self.currents
+        return (c.idd0 - c.idd3n) * c.vdd * self.config.t_rc
+
+    @property
+    def energy_read_pj(self) -> float:
+        """One 64B read burst."""
+        c = self.currents
+        return (c.idd4r - c.idd3n) * c.vdd * self.config.line_transfer_ns
+
+    @property
+    def energy_write_pj(self) -> float:
+        """One 64B write burst."""
+        c = self.currents
+        return (c.idd4w - c.idd3n) * c.vdd * self.config.line_transfer_ns
+
+    @property
+    def energy_refresh_pj(self) -> float:
+        """One tRFC refresh burst."""
+        c = self.currents
+        return (c.idd5b - c.idd2n) * c.vdd * self.config.t_rfc
+
+    @property
+    def energy_row_swap_pj(self) -> float:
+        """One full row swap: 4 ACT/PRE pairs + 4 rows of line bursts
+        (half read out, half written back)."""
+        lines = self.config.lines_per_row
+        return 4 * self.energy_act_pre_pj + 2 * lines * (
+            self.energy_read_pj + self.energy_write_pj
+        )
+
+    # ------------------------------------------------------------------
+    # Power over an interval
+    # ------------------------------------------------------------------
+    def background_power_mw(self, active_fraction: float = 0.5) -> float:
+        """Standby power with a given open-bank duty cycle."""
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError("active fraction must be in [0, 1]")
+        c = self.currents
+        current = c.idd3n * active_fraction + c.idd2n * (1 - active_fraction)
+        return current * c.vdd
+
+    def operation_power_mw(
+        self,
+        activations: int,
+        reads: int,
+        writes: int,
+        refresh_bursts: int,
+        elapsed_s: float,
+    ) -> float:
+        """Dynamic power from the operation counts over an interval."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        total_pj = (
+            activations * self.energy_act_pre_pj
+            + reads * self.energy_read_pj
+            + writes * self.energy_write_pj
+            + refresh_bursts * self.energy_refresh_pj
+        )
+        return total_pj / elapsed_s * 1e-9  # pJ/s -> mW
+
+    def rank_power_mw(
+        self,
+        activations: int,
+        reads: int,
+        writes: int,
+        refresh_bursts: int,
+        elapsed_s: float,
+        active_fraction: float = 0.5,
+    ) -> float:
+        """Total rank power: background + operations."""
+        return self.background_power_mw(active_fraction) + self.operation_power_mw(
+            activations, reads, writes, refresh_bursts, elapsed_s
+        )

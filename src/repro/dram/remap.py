@@ -1,0 +1,96 @@
+"""Vendor-internal row remapping (the paper's DRAM-mapping argument).
+
+DRAM vendors map the row addresses the memory controller issues onto
+internal wordlines through proprietary, undocumented scrambling
+(Section 2.4: "DRAM chips often use proprietary mapping, and this
+mapping may not be available within the memory controller"). Two rows
+adjacent in controller address space need not be physically adjacent —
+and vice versa.
+
+This matters asymmetrically:
+
+* **Victim-focused mitigation** must refresh the *physical* neighbours
+  of an aggressor. Computing ``row +- 1`` on controller addresses
+  refreshes the wrong wordlines when a scramble is present, silently
+  voiding the defense (reproduced in the attack tests).
+* **RRS** never needs adjacency: it swaps the aggressor with a random
+  row, so a scramble is irrelevant — Table 7's "works without knowing
+  DRAM mapping" row.
+
+:class:`RowScramble` models the common vendor schemes: identity, bit
+flips on low row bits (the classic +-1 <-> +-3 confusion), and a keyed
+pseudo-random permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.utils.hashing import keyed_hash
+
+
+class RowScramble:
+    """Bijective controller-row -> internal-wordline mapping."""
+
+    SCHEMES = ("identity", "bitflip", "keyed")
+
+    def __init__(self, rows: int, scheme: str = "bitflip", key: int = 0) -> None:
+        if rows <= 0 or rows & (rows - 1):
+            raise ValueError("row count must be a positive power of two")
+        if scheme not in self.SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; known: {self.SCHEMES}")
+        self.rows = rows
+        self.scheme = scheme
+        self.key = key
+        if scheme == "keyed":
+            # A keyed Feistel-style permutation over the row index.
+            self._forward = self._build_keyed_permutation()
+            self._inverse = [0] * rows
+            for logical, physical in enumerate(self._forward):
+                self._inverse[physical] = logical
+
+    # ------------------------------------------------------------------
+    def to_internal(self, row: int) -> int:
+        """The internal wordline a controller row address selects."""
+        self._check(row)
+        if self.scheme == "identity":
+            return row
+        if self.scheme == "bitflip":
+            # Vendors commonly invert low address bits in alternating
+            # sub-blocks: XOR bit1 into bit0 for odd 4-row groups.
+            if (row >> 2) & 1:
+                return row ^ 0b11
+            return row
+        return self._forward[row]
+
+    def to_controller(self, wordline: int) -> int:
+        """Inverse mapping: which controller address selects a wordline."""
+        self._check(wordline)
+        if self.scheme == "identity":
+            return wordline
+        if self.scheme == "bitflip":
+            if (wordline >> 2) & 1:
+                return wordline ^ 0b11
+            return wordline
+        return self._inverse[wordline]
+
+    def internal_neighbors(self, row: int, distance: int = 1) -> Iterable[int]:
+        """Controller addresses of a row's *physical* neighbours.
+
+        This is the information a victim-focused defense would need the
+        vendor to disclose.
+        """
+        wordline = self.to_internal(row)
+        for offset in (-distance, distance):
+            neighbor = wordline + offset
+            if 0 <= neighbor < self.rows:
+                yield self.to_controller(neighbor)
+
+    # ------------------------------------------------------------------
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+
+    def _build_keyed_permutation(self) -> list:
+        # Sort rows by a keyed hash: a uniform bijection, stable per key.
+        return sorted(range(self.rows), key=lambda r: keyed_hash(r, self.key))

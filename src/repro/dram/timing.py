@@ -1,0 +1,106 @@
+"""Per-bank timing state machine.
+
+Tracks when the next activate / column access may legally issue on a
+bank, enforcing tRC (ACT-to-ACT), tRCD (ACT-to-CAS), tRP (PRE), and tCAS
+(CAS-to-data). The memory controller asks this object "if I issue a
+request for row R at time t, when is the data back, and what commands
+did that imply?" — which is exactly the granularity USIMM's scheduler
+reasons at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass
+class AccessOutcome:
+    """Result of servicing one column access on a bank."""
+
+    start_ns: float
+    data_ns: float
+    row_buffer_hit: bool
+    activated: bool
+
+
+@dataclass
+class BankTimingState:
+    """Mutable DDR timing state for one bank.
+
+    ``observer``, when set, receives ``(kind, row, time_ns)`` for every
+    command the bank issues — the hook the protocol checker
+    (:mod:`repro.mem.cmdlog`) uses to audit timing legality.
+    """
+
+    config: DRAMConfig
+    open_row: int = -1  # -1 encodes a precharged (closed) bank
+    last_act_ns: float = field(default=-1e18)
+    ready_ns: float = 0.0  # earliest time a new command may issue
+    observer: object = None
+
+    def earliest_start(self, now_ns: float) -> float:
+        """Earliest instant a new request could begin on this bank."""
+        return max(now_ns, self.ready_ns)
+
+    def access(self, row: int, now_ns: float) -> AccessOutcome:
+        """Service a read/write to ``row`` beginning no earlier than now.
+
+        Open-page policy: the row buffer is left open after the access.
+        Returns timing; the caller accounts bus occupancy separately.
+        """
+        start = self.earliest_start(now_ns)
+        if self.open_row == row:
+            data = start + self.config.t_cas
+            self.ready_ns = data
+            self._emit("CAS", row, start)
+            return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=True, activated=False)
+
+        # Row-buffer miss: precharge if a row is open, then activate.
+        act_at = start + (self.config.t_rp if self.open_row >= 0 else 0)
+        if self.open_row >= 0:
+            self._emit("PRE", self.open_row, start)
+        act_at = max(act_at, self.last_act_ns + self.config.t_rc)
+        data = act_at + self.config.t_rcd + self.config.t_cas
+        self.open_row = row
+        self.last_act_ns = act_at
+        self.ready_ns = data
+        self._emit("ACT", row, act_at)
+        self._emit("CAS", row, act_at + self.config.t_rcd)
+        if self.config.page_policy == "closed":
+            # Auto-precharge: the bank closes right after the burst.
+            self._emit("PRE", row, data)
+            self.open_row = -1
+            self.ready_ns = data + self.config.t_rp
+        return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=False, activated=True)
+
+    def activate_only(self, row: int, now_ns: float) -> float:
+        """Issue a bare ACT (used by attack drivers); returns ACT time."""
+        start = self.earliest_start(now_ns)
+        act_at = start + (self.config.t_rp if self.open_row >= 0 else 0)
+        if self.open_row >= 0:
+            self._emit("PRE", self.open_row, start)
+        act_at = max(act_at, self.last_act_ns + self.config.t_rc)
+        self.open_row = row
+        self.last_act_ns = act_at
+        self.ready_ns = act_at + self.config.t_rcd
+        self._emit("ACT", row, act_at)
+        return act_at
+
+    def precharge(self, now_ns: float) -> float:
+        """Close the row buffer; returns when the bank is idle again."""
+        start = self.earliest_start(now_ns)
+        if self.open_row >= 0:
+            self._emit("PRE", self.open_row, start)
+            self.open_row = -1
+            self.ready_ns = start + self.config.t_rp
+        return self.ready_ns
+
+    def block_until(self, until_ns: float) -> None:
+        """Hold the bank busy (refresh, row-swap streaming)."""
+        self.ready_ns = max(self.ready_ns, until_ns)
+
+    def _emit(self, kind: str, row: int, time_ns: float) -> None:
+        if self.observer is not None:
+            self.observer(kind, row, time_ns)

@@ -1,0 +1,30 @@
+"""Memory-system simulator: the role USIMM plays in the paper.
+
+Trace-driven out-of-order cores (ROB-limited), per-channel memory
+controllers with FCFS / FR-FCFS scheduling, DDR4 timing via
+``repro.dram``, periodic refresh, and a mitigation hook through which
+RRS and every baseline defense observe activations and act on the
+memory system.
+"""
+
+from repro.mem.request import MemoryRequest
+from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler
+from repro.mem.controller import MemoryController
+from repro.mem.cpu import Core, CoreConfig
+from repro.mem.cache import CacheConfig, LastLevelCache
+from repro.mem.metrics import SimMetrics
+from repro.mem.system import SystemConfig, SystemSimulator
+
+__all__ = [
+    "MemoryRequest",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "MemoryController",
+    "Core",
+    "CoreConfig",
+    "CacheConfig",
+    "LastLevelCache",
+    "SimMetrics",
+    "SystemConfig",
+    "SystemSimulator",
+]

@@ -1,0 +1,145 @@
+"""Command logging and DDR protocol checking.
+
+Attach a :class:`CommandLog` to any bank and every ACT/PRE/CAS the
+timing model issues is recorded; :meth:`CommandLog.violations` then
+audits the stream against the DDR constraints (tRC between ACTs, tRCD
+from ACT to CAS, tRP from PRE to ACT, CAS only to the open row). This
+is both a debugging instrument and a regression guard: the simulator's
+scheduling arithmetic is re-validated from its own observable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMConfig
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class LoggedCommand:
+    """One observed DDR command."""
+
+    kind: str  # "ACT" | "PRE" | "CAS"
+    row: int
+    time_ns: float
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected timing/protocol violation."""
+
+    rule: str
+    command: LoggedCommand
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule} at {self.command.time_ns:.1f}ns: {self.detail}"
+
+
+class CommandLog:
+    """Observer collecting one bank's command stream."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self.commands: List[LoggedCommand] = []
+
+    def attach(self, bank: Bank) -> "CommandLog":
+        """Start observing a bank; returns self for chaining."""
+        bank.timing.observer = self
+        return self
+
+    def __call__(self, kind: str, row: int, time_ns: float) -> None:
+        self.commands.append(LoggedCommand(kind=kind, row=row, time_ns=time_ns))
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def counts(self) -> dict:
+        """Command counts by kind."""
+        out: dict = {}
+        for command in self.commands:
+            out[command.kind] = out.get(command.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Protocol audit
+    # ------------------------------------------------------------------
+    def violations(self) -> List[Violation]:
+        """Audit the stream against the DDR timing rules."""
+        found: List[Violation] = []
+        last_act: Optional[LoggedCommand] = None
+        last_pre: Optional[LoggedCommand] = None
+        open_row: int = -1
+        for command in self.commands:
+            if command.kind == "ACT":
+                if open_row != -1:
+                    found.append(
+                        Violation(
+                            "ACT-on-open-bank",
+                            command,
+                            f"row {open_row} still open",
+                        )
+                    )
+                if (
+                    last_act is not None
+                    and command.time_ns - last_act.time_ns < self.config.t_rc - _EPS
+                ):
+                    found.append(
+                        Violation(
+                            "tRC",
+                            command,
+                            f"ACT-to-ACT gap "
+                            f"{command.time_ns - last_act.time_ns:.1f}ns < "
+                            f"{self.config.t_rc}ns",
+                        )
+                    )
+                if (
+                    last_pre is not None
+                    and command.time_ns - last_pre.time_ns < self.config.t_rp - _EPS
+                ):
+                    found.append(
+                        Violation(
+                            "tRP",
+                            command,
+                            f"PRE-to-ACT gap "
+                            f"{command.time_ns - last_pre.time_ns:.1f}ns < "
+                            f"{self.config.t_rp}ns",
+                        )
+                    )
+                last_act = command
+                open_row = command.row
+            elif command.kind == "PRE":
+                if open_row == -1:
+                    found.append(
+                        Violation("PRE-on-closed-bank", command, "no open row")
+                    )
+                last_pre = command
+                open_row = -1
+            elif command.kind == "CAS":
+                if open_row != command.row:
+                    found.append(
+                        Violation(
+                            "CAS-to-wrong-row",
+                            command,
+                            f"open row {open_row}, CAS row {command.row}",
+                        )
+                    )
+                if (
+                    last_act is not None
+                    and open_row == command.row
+                    and command.time_ns - last_act.time_ns < self.config.t_rcd - _EPS
+                ):
+                    found.append(
+                        Violation(
+                            "tRCD",
+                            command,
+                            f"ACT-to-CAS gap "
+                            f"{command.time_ns - last_act.time_ns:.1f}ns < "
+                            f"{self.config.t_rcd}ns",
+                        )
+                    )
+        return found

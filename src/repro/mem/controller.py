@@ -1,0 +1,198 @@
+"""Per-channel memory controller.
+
+Owns one channel of DRAM, decodes addresses, routes rows through the
+installed mitigation (the RIT lookup in RRS), enforces activation
+throttling (BlockHammer), services the access on the bank's timing
+model, reserves the data bus, and applies whatever mitigating actions
+the defense requests — targeted victim refreshes or channel-blocking
+row swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+from repro.dram.device import Channel
+from repro.mem.request import MemoryRequest
+from repro.mitigations.base import Mitigation, MitigationOutcome
+
+
+@dataclass
+class ControllerStats:
+    """Counters for one channel's controller."""
+
+    reads: int = 0
+    writes: int = 0
+    activations: int = 0
+    row_buffer_hits: int = 0
+    victim_refreshes: int = 0
+    swaps: int = 0
+    swap_blocked_ns: float = 0.0
+    throttle_delay_ns: float = 0.0
+    total_latency_ns: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        """Total serviced requests."""
+        return self.reads + self.writes
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        """Fraction of accesses that hit the open row."""
+        if self.accesses == 0:
+            return 0.0
+        return self.row_buffer_hits / self.accesses
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Average arrival-to-data latency."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_latency_ns / self.accesses
+
+
+class MemoryController:
+    """FCFS controller for one channel, with a pluggable mitigation."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        channel: Channel,
+        mitigation: Mitigation,
+        mapper: AddressMapper = None,
+        write_queue_capacity: int = 0,
+        write_drain_low: int = 0,
+    ) -> None:
+        self.config = config
+        self.channel = channel
+        self.mitigation = mitigation
+        self.mapper = mapper if mapper is not None else AddressMapper(config)
+        self.stats = ControllerStats()
+        # Optional USIMM-style buffered writes: writes complete
+        # immediately into the queue and drain in bursts once the
+        # high-watermark is reached (0 = service writes inline).
+        if write_queue_capacity < 0 or write_drain_low < 0:
+            raise ValueError("write queue parameters must be non-negative")
+        if write_queue_capacity and write_drain_low >= write_queue_capacity:
+            raise ValueError("drain-low watermark must be below capacity")
+        self.write_queue_capacity = write_queue_capacity
+        self.write_drain_low = write_drain_low
+        self._write_queue: list = []
+
+    def service(self, request: MemoryRequest) -> float:
+        """Service one request synchronously; returns completion time.
+
+        Requests must be presented in arrival order (exact FCFS); bank
+        parallelism emerges from per-bank ready times, and the shared
+        data bus serializes line transfers within the channel.
+        """
+        decoded = request.decoded
+        if decoded is None:
+            decoded = self.mapper.decode(request.address)
+            request.decoded = decoded
+        if decoded.channel != self.channel.index:
+            raise ValueError(
+                f"request for channel {decoded.channel} sent to "
+                f"controller of channel {self.channel.index}"
+            )
+
+        bank = self.channel.bank(decoded.rank, decoded.bank)
+        bank_key = decoded.bank_key
+        physical_row = self.mitigation.route(bank_key, decoded.row)
+        request.physical_row = physical_row
+
+        if request.is_write and self.write_queue_capacity:
+            # Buffered write: completes into the queue instantly; the
+            # DRAM work happens at the next burst drain.
+            request.start_ns = request.arrival_ns
+            request.completion_ns = request.arrival_ns
+            self.stats.writes += 1
+            self._write_queue.append(request)
+            if len(self._write_queue) >= self.write_queue_capacity:
+                self._drain_writes(request.arrival_ns)
+            return request.completion_ns
+
+        start_floor = request.arrival_ns + self.mitigation.lookup_latency_ns()
+        if bank.timing.open_row != physical_row:
+            delay = self.mitigation.pre_activate_delay_ns(
+                bank_key, physical_row, start_floor
+            )
+            if delay > 0.0:
+                self.stats.throttle_delay_ns += delay
+                start_floor += delay
+
+        outcome = bank.access(physical_row, start_floor)
+        data_start = self.channel.reserve_bus(
+            outcome.data_ns, self.config.line_transfer_ns
+        )
+        completion = data_start + self.config.line_transfer_ns
+
+        request.start_ns = outcome.start_ns
+        request.completion_ns = completion
+        request.row_buffer_hit = outcome.row_buffer_hit
+
+        if request.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.total_latency_ns += completion - request.arrival_ns
+        if outcome.row_buffer_hit:
+            self.stats.row_buffer_hits += 1
+        if outcome.activated:
+            self.stats.activations += 1
+            action = self.mitigation.on_activation(
+                bank_key, decoded.row, physical_row, completion
+            )
+            if not action.is_noop:
+                self._apply(action, bank, completion)
+        return completion
+
+    def _drain_writes(self, now_ns: float) -> None:
+        """Burst-drain the write queue down to the low watermark."""
+        while len(self._write_queue) > self.write_drain_low:
+            write = self._write_queue.pop(0)
+            decoded = write.decoded
+            bank = self.channel.bank(decoded.rank, decoded.bank)
+            outcome = bank.access(write.physical_row, now_ns)
+            self.channel.reserve_bus(outcome.data_ns, self.config.line_transfer_ns)
+            if outcome.row_buffer_hit:
+                self.stats.row_buffer_hits += 1
+            if outcome.activated:
+                self.stats.activations += 1
+                action = self.mitigation.on_activation(
+                    decoded.bank_key, decoded.row, write.physical_row, outcome.data_ns
+                )
+                if not action.is_noop:
+                    self._apply(action, bank, outcome.data_ns)
+
+    @property
+    def pending_writes(self) -> int:
+        """Writes currently buffered in the write queue."""
+        return len(self._write_queue)
+
+    def _apply(self, action: MitigationOutcome, bank, now_ns: float) -> None:
+        """Carry out the mitigating actions a defense requested."""
+        for victim_row in action.refresh_rows:
+            if 0 <= victim_row < self.config.rows_per_bank:
+                bank.refresh_row(victim_row)
+                self.stats.victim_refreshes += 1
+        if action.refresh_rows:
+            # Each targeted refresh is internally an ACT+PRE: tRC apiece.
+            bank.timing.block_until(
+                now_ns + len(action.refresh_rows) * self.config.t_rc
+            )
+        if action.swaps:
+            self.stats.swaps += len(action.swaps)
+            if bank.disturbance is not None:
+                # Streaming a swap activates each involved row twice
+                # (read-out and write-back), restoring their own charge.
+                for row_a, row_b in action.swaps:
+                    bank.disturbance.on_activate(row_a, count=2)
+                    bank.disturbance.on_activate(row_b, count=2)
+        if action.refresh_all_bank and bank.disturbance is not None:
+            bank.disturbance.refresh_all()
+        if action.channel_block_ns > 0.0:
+            self.stats.swap_blocked_ns += action.channel_block_ns
+            self.channel.block_channel(now_ns, action.channel_block_ns)

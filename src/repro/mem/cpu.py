@@ -1,0 +1,162 @@
+"""Trace-driven out-of-order core model.
+
+USIMM-style: each core replays a trace of (non-memory-instruction gap,
+memory access) records. Non-memory instructions retire at the retire
+width; loads occupy the reorder buffer until their data returns, so the
+core stalls when the ROB fills behind an outstanding miss. Writes drain
+through a write buffer and never block retirement.
+
+This reproduces the property the paper's slowdown numbers depend on:
+memory-bound workloads (high MPKI) feel added memory latency (the
+RIT's 4 cycles, channel-blocking swaps) far more than compute-bound
+ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional, Tuple
+
+from repro.mem.request import MemoryRequest
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core parameters (paper Table 2)."""
+
+    clock_ghz: float = 3.2
+    rob_size: int = 192
+    retire_width: int = 4
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one core cycle in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+
+class Core:
+    """One trace-driven core feeding the memory system."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Iterator[TraceRecord],
+        config: CoreConfig = CoreConfig(),
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self._trace = iter(trace)
+        self.time_ns = 0.0
+        self.instructions_retired = 0
+        self._inst_issued = 0
+        # Outstanding loads: (instruction index at issue, completion time).
+        self._outstanding: Deque[Tuple[int, float]] = deque()
+        self._pending: Optional[TraceRecord] = None
+        self._pending_issue_ns: Optional[float] = None
+        self._exhausted = False
+        self._fetch()
+
+    # ------------------------------------------------------------------
+    # System-loop interface
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the trace is fully replayed and loads drained."""
+        return self._exhausted and self._pending is None
+
+    def next_issue_time(self) -> float:
+        """Earliest time the core can present its next memory request.
+
+        Computed once per pending record and cached: the computation
+        pops satisfied ROB constraints, so recomputing after the pops
+        would lose the stall and issue the request too early.
+        """
+        if self._pending is None:
+            return float("inf")
+        if self._pending_issue_ns is None:
+            self._pending_issue_ns = self._issue_time_for(self._pending)
+        return self._pending_issue_ns
+
+    def issue(self) -> MemoryRequest:
+        """Materialize the next memory request; advances core time."""
+        if self._pending is None:
+            raise RuntimeError("no pending trace record to issue")
+        record = self._pending
+        issue_at = self.next_issue_time()
+        self.time_ns = issue_at
+        self._inst_issued += record.instruction_gap + 1
+        request = MemoryRequest(
+            address=record.address,
+            is_write=record.is_write,
+            core_id=self.core_id,
+            arrival_ns=issue_at,
+            instruction_index=self._inst_issued,
+        )
+        self._pending = None
+        self._pending_issue_ns = None
+        self._fetch()
+        return request
+
+    def complete(self, request: MemoryRequest) -> None:
+        """Deliver a serviced request's completion back to the core."""
+        self.instructions_retired = max(
+            self.instructions_retired, request.instruction_index
+        )
+        if not request.is_write:
+            self._outstanding.append(
+                (request.instruction_index, request.completion_ns)
+            )
+
+    def drain(self) -> None:
+        """Wait for every outstanding load (end-of-trace accounting)."""
+        while self._outstanding:
+            _, completion = self._outstanding.popleft()
+            self.time_ns = max(self.time_ns, completion)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        """Core cycles elapsed so far."""
+        return self.time_ns / self.config.cycle_ns
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole run."""
+        if self.time_ns <= 0.0:
+            return 0.0
+        return self.instructions_retired / self.cycles
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        if self._exhausted:
+            return
+        try:
+            self._pending = next(self._trace)
+        except StopIteration:
+            self._exhausted = True
+            self._pending = None
+
+    def _issue_time_for(self, record: TraceRecord) -> float:
+        """When this record's memory access reaches the memory system.
+
+        The gap instructions retire at ``retire_width`` per cycle; if
+        the ROB window (issued minus oldest-incomplete instruction)
+        would exceed ``rob_size``, the core first waits for old loads.
+        """
+        issue_at = self.time_ns + (
+            record.instruction_gap / self.config.retire_width
+        ) * self.config.cycle_ns
+        next_index = self._inst_issued + record.instruction_gap + 1
+        while self._outstanding:
+            oldest_index, oldest_completion = self._outstanding[0]
+            if next_index - oldest_index < self.config.rob_size:
+                break
+            issue_at = max(issue_at, oldest_completion)
+            self._outstanding.popleft()
+        return issue_at

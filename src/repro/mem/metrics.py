@@ -1,0 +1,55 @@
+"""Aggregated simulation metrics.
+
+The paper's figure of merit is IPC normalized to the no-mitigation
+baseline (Figure 6); swap counts, victim refreshes, activation totals
+and channel-blocked time feed Figures 5/10/11 and the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils.stats import geomean
+
+
+@dataclass
+class SimMetrics:
+    """Result bundle for one full-system simulation run."""
+
+    workload: str = ""
+    mitigation: str = ""
+    instructions: int = 0
+    core_ipcs: List[float] = field(default_factory=list)
+    sim_time_ns: float = 0.0
+    activations: int = 0
+    row_buffer_hits: int = 0
+    accesses: int = 0
+    swaps: int = 0
+    swap_blocked_ns: float = 0.0
+    victim_refreshes: int = 0
+    throttle_delay_ns: float = 0.0
+    mean_read_latency_ns: float = 0.0
+    windows: int = 0
+    swap_history: List[int] = field(default_factory=list)  # per-window
+    bit_flips: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """System IPC: geometric mean over cores (paper's aggregation)."""
+        if not self.core_ipcs:
+            return 0.0
+        return geomean([max(v, 1e-12) for v in self.core_ipcs])
+
+    @property
+    def swaps_per_window(self) -> float:
+        """Average row swaps per refresh window (Figure 5's metric)."""
+        if self.windows == 0:
+            return float(self.swaps)
+        return self.swaps / self.windows
+
+    def normalized_to(self, baseline: "SimMetrics") -> float:
+        """Performance relative to a baseline run (1.0 = no slowdown)."""
+        if baseline.ipc <= 0:
+            raise ValueError("baseline IPC must be positive")
+        return self.ipc / baseline.ipc

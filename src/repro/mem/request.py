@@ -1,0 +1,36 @@
+"""Memory request record exchanged between cores and controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.address import DecodedAddress
+
+
+@dataclass
+class MemoryRequest:
+    """One post-LLC memory access on its way to DRAM.
+
+    ``row`` in ``decoded`` is the *logical* row as the core sees it; the
+    mitigation's routing step (the RIT in RRS) decides the physical row
+    the access actually lands on.
+    """
+
+    address: int
+    is_write: bool
+    core_id: int
+    arrival_ns: float
+    instruction_index: int = 0
+    decoded: Optional[DecodedAddress] = None
+    physical_row: int = -1
+    start_ns: float = field(default=-1.0)
+    completion_ns: float = field(default=-1.0)
+    row_buffer_hit: bool = False
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-data latency; valid only after service."""
+        if self.completion_ns < 0:
+            raise ValueError("request has not been serviced yet")
+        return self.completion_ns - self.arrival_ns

@@ -1,0 +1,146 @@
+"""Full-system simulator: cores + controllers + refresh + mitigation.
+
+This is the harness every performance experiment runs through: it
+replays one trace per core through per-channel FCFS memory controllers,
+advances refresh, lets the installed mitigation observe and act, and
+returns a :class:`SimMetrics` bundle. The paper's Figure 6/10/11 runs
+are exactly "run baseline, run defense, divide IPCs".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+from repro.dram.device import Channel
+from repro.dram.refresh import RefreshScheduler
+from repro.mem.controller import MemoryController
+from repro.mem.cpu import Core, CoreConfig
+from repro.mem.metrics import SimMetrics
+from repro.mitigations.base import Mitigation
+from repro.mitigations.none import NoMitigation
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs for one full-system run (defaults = paper Table 2)."""
+
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    cores: int = 8
+    with_faults: bool = False
+    t_rh: float = 4800.0
+
+
+class SystemSimulator:
+    """Replays per-core traces against the DRAM model and a mitigation."""
+
+    def __init__(
+        self,
+        config: SystemConfig = SystemConfig(),
+        mitigation: Optional[Mitigation] = None,
+    ) -> None:
+        self.config = config
+        self.mitigation = mitigation if mitigation is not None else NoMitigation()
+        self.mapper = AddressMapper(config.dram)
+        self.channels: List[Channel] = [
+            Channel(
+                config.dram,
+                index=i,
+                with_faults=config.with_faults,
+                t_rh=config.t_rh,
+            )
+            for i in range(config.dram.channels)
+        ]
+        self.controllers: List[MemoryController] = [
+            MemoryController(config.dram, channel, self.mitigation, self.mapper)
+            for channel in self.channels
+        ]
+        self.refresh = RefreshScheduler(
+            config.dram,
+            self.channels,
+            window_callbacks=[self.mitigation.on_window_end],
+        )
+
+    def run(
+        self,
+        traces: Sequence[Iterator[TraceRecord]],
+        workload: str = "",
+    ) -> SimMetrics:
+        """Replay one (finite) trace per core; returns run metrics.
+
+        Traces must be finite iterators (use ``generator.records(n)``);
+        the run ends when every trace is exhausted and drained.
+        """
+        if len(traces) != self.config.cores:
+            raise ValueError(
+                f"expected {self.config.cores} traces, got {len(traces)}"
+            )
+        cores = [
+            Core(core_id, trace, self.config.core)
+            for core_id, trace in enumerate(traces)
+        ]
+        heap = [
+            (core.next_issue_time(), core.core_id)
+            for core in cores
+            if not core.done
+        ]
+        heapq.heapify(heap)
+
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            core = cores[core_id]
+            if core.done:
+                continue
+            request = core.issue()
+            self.refresh.advance_to(request.arrival_ns)
+            request.decoded = self.mapper.decode(request.address)
+            controller = self.controllers[request.decoded.channel]
+            controller.service(request)
+            core.complete(request)
+            if not core.done:
+                heapq.heappush(heap, (core.next_issue_time(), core_id))
+
+        for core in cores:
+            core.drain()
+        return self._collect(cores, workload)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _collect(self, cores: List[Core], workload: str) -> SimMetrics:
+        metrics = SimMetrics(workload=workload, mitigation=self.mitigation.name)
+        metrics.core_ipcs = [core.ipc for core in cores]
+        metrics.instructions = sum(core.instructions_retired for core in cores)
+        metrics.sim_time_ns = max((core.time_ns for core in cores), default=0.0)
+        metrics.windows = self.refresh.windows_completed
+        total_latency = 0.0
+        for controller in self.controllers:
+            stats = controller.stats
+            metrics.activations += stats.activations
+            metrics.row_buffer_hits += stats.row_buffer_hits
+            metrics.accesses += stats.accesses
+            metrics.swaps += stats.swaps
+            metrics.swap_blocked_ns += stats.swap_blocked_ns
+            metrics.victim_refreshes += stats.victim_refreshes
+            metrics.throttle_delay_ns += stats.throttle_delay_ns
+            total_latency += stats.total_latency_ns
+        if metrics.accesses:
+            metrics.mean_read_latency_ns = total_latency / metrics.accesses
+        metrics.swap_history = list(getattr(self.mitigation, "swap_history", []))
+        metrics.bit_flips = self.flip_count
+        return metrics
+
+    @property
+    def flip_count(self) -> int:
+        """Bit flips recorded by the fault model across all banks."""
+        return sum(
+            bank.disturbance.flip_count
+            for channel in self.channels
+            for bank in channel.iter_banks()
+            if bank.disturbance is not None
+        )

@@ -1,0 +1,29 @@
+"""Row Hammer mitigations: RRS plus every baseline the paper compares.
+
+All mitigations implement :class:`repro.mitigations.base.Mitigation` and
+plug into the memory controller identically; they differ only in what
+they observe (tracking) and what mitigating action they emit (victim
+refreshes, activation delays, or randomized row swaps).
+"""
+
+from repro.mitigations.base import Mitigation, MitigationOutcome
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import PARA
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.twice import TWiCe
+from repro.mitigations.trr import TargetedRowRefresh
+from repro.mitigations.ideal_vfm import IdealVictimRefresh
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+
+__all__ = [
+    "Mitigation",
+    "MitigationOutcome",
+    "NoMitigation",
+    "PARA",
+    "Graphene",
+    "TWiCe",
+    "TargetedRowRefresh",
+    "IdealVictimRefresh",
+    "BlockHammer",
+    "BlockHammerConfig",
+]

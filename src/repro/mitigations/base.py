@@ -1,0 +1,104 @@
+"""Mitigation interface shared by RRS and every baseline defense.
+
+The memory controller drives mitigations through four hooks, mirroring
+where real hardware defenses sit in the pipeline:
+
+1. :meth:`Mitigation.route` — address indirection *before* the bank is
+   touched (only RRS's RIT does anything here).
+2. :meth:`Mitigation.pre_activate_delay_ns` — throttling *before* an
+   ACT issues (only BlockHammer does anything here).
+3. :meth:`Mitigation.on_activation` — observation of each ACT plus the
+   mitigating action it triggers, returned declaratively as a
+   :class:`MitigationOutcome` that the controller applies (victim
+   refreshes on the bank, channel blocking for row swaps).
+4. :meth:`Mitigation.on_window_end` — epoch rollover (tracker resets,
+   RIT lock-bit clearing).
+
+Mitigations are *per-rank* objects managing per-bank state internally,
+matching the paper's per-bank HRT/RIT sizing (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+BankKey = Tuple[int, int, int]  # (channel, rank, bank)
+
+
+@dataclass
+class MitigationOutcome:
+    """Actions a mitigation requests in response to one activation.
+
+    ``refresh_rows``: physical rows the controller must issue targeted
+    refreshes to (victim-focused mitigations).
+    ``channel_block_ns``: how long the channel is unavailable (row-swap
+    streaming in RRS: 2.9us typical, 4.4us worst case).
+    ``swaps``: (row_a, row_b) physical pairs whose *contents* moved, so
+    fault-model bookkeeping and tests can follow the data.
+    ``refresh_all_bank``: preemptive whole-bank refresh (the paper's
+    footnote-2 response to a detected attack) — restores every row's
+    charge at the cost of a multi-millisecond stall.
+    """
+
+    refresh_rows: List[int] = field(default_factory=list)
+    channel_block_ns: float = 0.0
+    swaps: List[Tuple[int, int]] = field(default_factory=list)
+    refresh_all_bank: bool = False
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no mitigating action was requested."""
+        return (
+            not self.refresh_rows
+            and self.channel_block_ns == 0.0
+            and not self.swaps
+            and not self.refresh_all_bank
+        )
+
+
+NOOP_OUTCOME = MitigationOutcome()
+
+
+class Mitigation:
+    """Base class: observes activations, requests no action."""
+
+    name = "base"
+
+    def route(self, bank_key: BankKey, row: int) -> int:
+        """Map a logical row to the physical row to access."""
+        return row
+
+    def lookup_latency_ns(self) -> float:
+        """Extra critical-path latency added to every memory access."""
+        return 0.0
+
+    def pre_activate_delay_ns(
+        self, bank_key: BankKey, row: int, now_ns: float
+    ) -> float:
+        """Delay imposed before an ACT may issue (throttling defenses)."""
+        return 0.0
+
+    def on_activation(
+        self,
+        bank_key: BankKey,
+        row: int,
+        physical_row: int,
+        now_ns: float,
+    ) -> MitigationOutcome:
+        """Observe one ACT; return requested actions.
+
+        ``row`` is the logical (pre-indirection) row — what RRS's HRT
+        indexes in parallel with the RIT (paper Figure 2); victim-
+        focused defenses act on ``physical_row``, whose neighbours are
+        the rows physically at risk. The two coincide for every defense
+        except RRS.
+        """
+        return NOOP_OUTCOME
+
+    def on_window_end(self, window_index: int) -> None:
+        """Refresh-window (epoch) rollover."""
+
+    def storage_bits_per_bank(self, rows_per_bank: int) -> int:
+        """SRAM bits this defense needs per bank (0 for stateless)."""
+        return 0

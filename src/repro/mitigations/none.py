@@ -1,0 +1,15 @@
+"""The unprotected baseline: observe nothing, do nothing.
+
+Every performance number in the paper is normalized to this
+configuration, and the classic-RowHammer demo shows it flipping bits.
+"""
+
+from __future__ import annotations
+
+from repro.mitigations.base import Mitigation
+
+
+class NoMitigation(Mitigation):
+    """Baseline memory controller behaviour (no Row Hammer defense)."""
+
+    name = "Baseline"

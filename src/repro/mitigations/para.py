@@ -1,0 +1,68 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., 2014).
+
+The canonical stateless victim-focused mitigation: on every activation,
+with probability ``p`` refresh the aggressor's immediate neighbours.
+An aggressor activated N times escapes refresh with probability
+``(1-p)^N``, so ``p`` is chosen to make surviving T_RH activations
+astronomically unlikely.
+
+PARA is victim-focused: it preserves the aggressor/victim spatial
+relationship, which is why Half-Double-style patterns defeat it (the
+mitigative refreshes themselves disturb rows at distance 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mitigations.base import BankKey, Mitigation, MitigationOutcome, NOOP_OUTCOME
+from repro.utils.rng import DeterministicRng
+
+
+class PARA(Mitigation):
+    """Stateless probabilistic neighbour refresh."""
+
+    name = "PARA"
+
+    def __init__(
+        self,
+        probability: float = 0.002,
+        blast_radius: int = 1,
+        rows_per_bank: int = 128 * 1024,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if blast_radius < 1:
+            raise ValueError("blast radius must be >= 1")
+        self.probability = probability
+        self.blast_radius = blast_radius
+        self.rows_per_bank = rows_per_bank
+        self._rng = DeterministicRng(seed, "para")
+        self.refreshes_issued = 0
+
+    @classmethod
+    def for_threshold(
+        cls, t_rh: int, failure_probability: float = 1e-15, **kwargs
+    ) -> "PARA":
+        """Pick ``p`` so an aggressor survives T_RH ACTs un-refreshed
+        with at most ``failure_probability``: (1-p)^T_RH <= target."""
+        if t_rh <= 0:
+            raise ValueError("T_RH must be positive")
+        p = 1.0 - math.exp(math.log(failure_probability) / t_rh)
+        return cls(probability=min(1.0, p), **kwargs)
+
+    def on_activation(
+        self, bank_key: BankKey, row: int, physical_row: int, now_ns: float
+    ) -> MitigationOutcome:
+        """Coin-flip a neighbour refresh for this activation."""
+        if self._rng.random() >= self.probability:
+            return NOOP_OUTCOME
+        victims = [
+            physical_row + offset
+            for distance in range(1, self.blast_radius + 1)
+            for offset in (-distance, distance)
+            if 0 <= physical_row + offset < self.rows_per_bank
+        ]
+        self.refreshes_issued += len(victims)
+        return MitigationOutcome(refresh_rows=victims)

@@ -1,0 +1,87 @@
+"""TWiCe (Lee et al., ISCA 2019): time-window counters + victim refresh.
+
+TWiCe keeps a counter table of recently active rows and prunes rows
+whose activation count stays below a growing per-interval threshold —
+rows that cannot possibly reach T_RH by window end. Surviving rows that
+cross the mitigation threshold get their neighbours refreshed.
+
+We model the pruning at tREFI granularity: after interval ``i``, a row
+needs at least ``i * prune_rate`` activations to stay tabled, where the
+prune rate is the per-interval activation pace required to reach the
+mitigation threshold by the end of the window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.mitigations.base import BankKey, Mitigation, MitigationOutcome, NOOP_OUTCOME
+
+
+class TWiCe(Mitigation):
+    """Pruned per-row counting + neighbour refresh."""
+
+    name = "TWiCe"
+
+    def __init__(
+        self,
+        t_rh: int = 4800,
+        mitigation_threshold: int = 0,
+        window_ns: int = 64_000_000,
+        t_refi_ns: int = 7_800,
+        blast_radius: int = 1,
+        rows_per_bank: int = 128 * 1024,
+    ) -> None:
+        self.t_rh = t_rh
+        self.threshold = mitigation_threshold or max(1, t_rh // 2)
+        self.window_ns = window_ns
+        self.t_refi_ns = t_refi_ns
+        self.blast_radius = blast_radius
+        self.rows_per_bank = rows_per_bank
+        self.refreshes_issued = 0
+        self.pruned = 0
+        self._counts: Dict[BankKey, Dict[int, int]] = {}
+        self._next_prune_ns = float(t_refi_ns)
+        self._interval = 0
+        self._intervals_per_window = max(1, window_ns // t_refi_ns)
+
+    def on_activation(
+        self, bank_key: BankKey, row: int, physical_row: int, now_ns: float
+    ) -> MitigationOutcome:
+        """Count the row; prune stale rows; refresh on threshold."""
+        self._maybe_prune(now_ns)
+        counts = self._counts.setdefault(bank_key, {})
+        count = counts.get(physical_row, 0) + 1
+        counts[physical_row] = count
+        if count % self.threshold != 0:
+            return NOOP_OUTCOME
+        victims = [
+            physical_row + offset
+            for distance in range(1, self.blast_radius + 1)
+            for offset in (-distance, distance)
+            if 0 <= physical_row + offset < self.rows_per_bank
+        ]
+        self.refreshes_issued += len(victims)
+        return MitigationOutcome(refresh_rows=victims)
+
+    def on_window_end(self, window_index: int) -> None:
+        """Counter lifetime is one refresh window."""
+        self._counts.clear()
+        self._interval = 0
+
+    def _maybe_prune(self, now_ns: float) -> None:
+        """Drop rows too slow to ever reach the threshold this window."""
+        while self._next_prune_ns <= now_ns:
+            self._interval += 1
+            interval_in_window = self._interval % self._intervals_per_window
+            minimum = math.ceil(
+                self.threshold * interval_in_window / self._intervals_per_window
+            )
+            if minimum > 0:
+                for counts in self._counts.values():
+                    stale = [r for r, c in counts.items() if c < minimum]
+                    for r in stale:
+                        del counts[r]
+                    self.pruned += len(stale)
+            self._next_prune_ns += self.t_refi_ns

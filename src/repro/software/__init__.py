@@ -1,0 +1,30 @@
+"""Victim software stack: virtual memory, page tables, and the
+privilege-escalation exploit the paper's threat model describes.
+
+Section 2.1: "The attacker can run process(es) under user privilege and
+exploit RH to flip bits in the page-table and achieve privilege
+escalation." This package models exactly that chain — page-table
+entries living in DRAM rows, Row Hammer bit flips mutating PTE frame
+bits, and the check for when a flipped PTE hands the attacker a frame
+it does not own — so the end-to-end consequence of a defense (or its
+absence) is observable, not just the raw flip count.
+"""
+
+from repro.software.pagetable import (
+    PTE,
+    PTE_BITS,
+    PageTable,
+    decode_pte,
+    encode_pte,
+)
+from repro.software.scenario import EscalationOutcome, PageTableAttackScenario
+
+__all__ = [
+    "PTE",
+    "PTE_BITS",
+    "PageTable",
+    "decode_pte",
+    "encode_pte",
+    "EscalationOutcome",
+    "PageTableAttackScenario",
+]

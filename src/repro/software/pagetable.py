@@ -1,0 +1,99 @@
+"""Page-table entries and tables, x86-64-flavoured.
+
+A PTE is a 64-bit word: present (bit 0), writable (bit 1), user (bit
+2), and the physical frame number in bits 12-47. The exploit mechanics
+the Row Hammer literature uses (Seaborn & Dullien) revolve around flips
+in the frame-number field: a single flipped frame bit can make a
+user-accessible PTE point at another page table or another process's
+frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+PTE_BITS = 64
+_PRESENT_BIT = 0
+_WRITABLE_BIT = 1
+_USER_BIT = 2
+_FRAME_SHIFT = 12
+_FRAME_MASK = (1 << 36) - 1  # frame number field: bits 12..47
+
+
+@dataclass(frozen=True)
+class PTE:
+    """One page-table entry."""
+
+    frame: int
+    present: bool = True
+    writable: bool = True
+    user: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frame <= _FRAME_MASK:
+            raise ValueError("frame number out of range")
+
+
+def encode_pte(pte: PTE) -> int:
+    """Pack a PTE into its 64-bit memory representation."""
+    word = (pte.frame & _FRAME_MASK) << _FRAME_SHIFT
+    if pte.present:
+        word |= 1 << _PRESENT_BIT
+    if pte.writable:
+        word |= 1 << _WRITABLE_BIT
+    if pte.user:
+        word |= 1 << _USER_BIT
+    return word
+
+
+def decode_pte(word: int) -> PTE:
+    """Unpack a 64-bit word into a PTE."""
+    return PTE(
+        frame=(word >> _FRAME_SHIFT) & _FRAME_MASK,
+        present=bool(word & (1 << _PRESENT_BIT)),
+        writable=bool(word & (1 << _WRITABLE_BIT)),
+        user=bool(word & (1 << _USER_BIT)),
+    )
+
+
+class PageTable:
+    """A process's page table: an array of PTE words.
+
+    ``entries_per_row`` PTEs share one DRAM row (8KB row / 8B PTE =
+    1024), so one flipped row can corrupt any of them.
+    """
+
+    def __init__(self, owner: str, entries: int = 1024) -> None:
+        if entries <= 0:
+            raise ValueError("page table needs at least one entry")
+        self.owner = owner
+        self._words: List[int] = [0] * entries
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def map_page(self, index: int, pte: PTE) -> None:
+        """Install a mapping at virtual-page ``index``."""
+        self._words[index] = encode_pte(pte)
+
+    def entry(self, index: int) -> Optional[PTE]:
+        """The decoded PTE at ``index`` (None when not present)."""
+        word = self._words[index]
+        if not word & (1 << _PRESENT_BIT):
+            return None
+        return decode_pte(word)
+
+    def flip_bit(self, index: int, bit: int) -> None:
+        """A Row Hammer fault: flip one bit of one entry in place."""
+        if not 0 <= bit < PTE_BITS:
+            raise ValueError("bit index out of range")
+        self._words[index] ^= 1 << bit
+
+    def mapped_frames(self) -> List[int]:
+        """Frames of every present entry."""
+        return [
+            decode_pte(word).frame
+            for word in self._words
+            if word & (1 << _PRESENT_BIT)
+        ]

@@ -1,0 +1,119 @@
+"""End-to-end privilege-escalation scenario (Seaborn & Dullien style).
+
+Layout: the attacker sprays memory so that rows holding *its own* page
+tables sit physically adjacent to rows it can hammer (the classic
+exploit's memory massaging). Bit flips landing in a page-table row
+mutate a random bit of a random PTE. The attack succeeds when a flipped
+attacker PTE still looks valid but now points at a frame the attacker
+does not own — page tables and kernel frames included — which is the
+privilege-escalation condition.
+
+The scenario plugs any mitigation into the activation-level attack
+harness, so the same code demonstrates both the exploit (no defense)
+and its prevention (RRS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.attacks.base import AttackHarness
+from repro.attacks.patterns import DoubleSidedAttack
+from repro.dram.config import DRAMConfig
+from repro.mitigations.base import Mitigation
+from repro.software.pagetable import PTE, PTE_BITS, PageTable
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class EscalationOutcome:
+    """What the attack achieved."""
+
+    flips: int = 0
+    pte_flips: int = 0
+    escalated: bool = False
+    corrupted_entries: List[str] = field(default_factory=list)
+    activations: int = 0
+
+    def __str__(self) -> str:
+        status = "PRIVILEGE ESCALATION" if self.escalated else "no escalation"
+        return (
+            f"{status}: {self.flips} flips, {self.pte_flips} in page tables, "
+            f"{self.activations:,} activations"
+        )
+
+
+class PageTableAttackScenario:
+    """One bank with attacker-adjacent page-table rows."""
+
+    def __init__(
+        self,
+        mitigation: Optional[Mitigation] = None,
+        dram: Optional[DRAMConfig] = None,
+        t_rh: float = 480.0,
+        page_table_rows: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.dram = dram if dram is not None else DRAMConfig(
+            channels=1,
+            banks_per_rank=1,
+            rows_per_bank=128 * 1024,
+            row_size_bytes=8 * 1024,
+        )
+        self.harness = AttackHarness(mitigation, self.dram, t_rh=t_rh)
+        self._rng = DeterministicRng(seed, "pt-scenario")
+        self.entries_per_row = self.dram.row_size_bytes // 8
+
+        # The attacker's sprayed page tables: every second row around
+        # the hammer area is a page-table row (massaged placement).
+        base = 10_000
+        self.page_table_rows: Dict[int, PageTable] = {}
+        self.attacker_frames: Set[int] = set()
+        for i in range(page_table_rows):
+            row = base + 2 * i
+            table = PageTable("attacker", entries=self.entries_per_row)
+            for index in range(0, self.entries_per_row, 4):
+                frame = 500_000 + i * self.entries_per_row + index
+                table.map_page(index, PTE(frame=frame))
+                self.attacker_frames.add(frame)
+            self.page_table_rows[row] = table
+        # Aggressor rows are the odd rows between the page tables.
+        self.aggressor_rows = [base + 2 * i + 1 for i in range(page_table_rows - 1)]
+
+    # ------------------------------------------------------------------
+    def run(self, max_activations: int = 2_000_000) -> EscalationOutcome:
+        """Hammer until escalation, a defense win, or the budget ends."""
+        outcome = EscalationOutcome()
+        # Double-sided hammering around the first page-table row that
+        # sits between two attacker-accessible aggressor rows.
+        victim_row = self.aggressor_rows[0] + 1
+        result = self.harness.run(
+            DoubleSidedAttack(victim_row).rows(),
+            max_activations=max_activations,
+            stop_on_flip=False,
+        )
+        outcome.activations = result.activations
+        outcome.flips = len(result.flips)
+        for flip in result.flips:
+            table = self.page_table_rows.get(flip.row)
+            if table is None:
+                continue
+            outcome.pte_flips += 1
+            index = self._rng.randint(0, len(table))
+            bit = self._rng.randint(0, PTE_BITS)
+            table.flip_bit(index, bit)
+            corrupted = table.entry(index)
+            if corrupted is None:
+                continue
+            if (
+                corrupted.user
+                and corrupted.writable
+                and corrupted.frame not in self.attacker_frames
+            ):
+                outcome.escalated = True
+                outcome.corrupted_entries.append(
+                    f"row {flip.row} entry {index} bit {bit} -> frame "
+                    f"{corrupted.frame:#x}"
+                )
+        return outcome

@@ -1,0 +1,174 @@
+"""Collision Avoidance Table (CAT) — paper Section 6.
+
+A storage primitive offering set-associative-latency lookups with
+conflict-free installs, inspired by MIRAGE. Two tables, each indexed by
+an independent keyed hash; each set has ``demand + extra`` ways. An
+install goes to whichever candidate set has more invalid entries
+(load balancing), so with enough over-provisioning (6 extra ways for
+the paper's geometries) an install never finds both sets full. If a
+conflict ever does occur, a MIRAGE-Lite-style Cuckoo relocation kicks
+one resident entry to its alternate set.
+
+Capacity policy is the caller's: the CAT never silently drops entries.
+Callers (the RIT, the tracker) check ``len()`` against their logical
+capacity and evict by policy before inserting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.hashing import keyed_hash
+
+
+class CATConflictError(RuntimeError):
+    """Both candidate sets full and Cuckoo relocation failed.
+
+    With 6 extra ways the paper estimates one conflict per ~1e30
+    installs; seeing this in practice means the CAT is misconfigured
+    (too few extra ways for its load).
+    """
+
+
+@dataclass(frozen=True)
+class CATConfig:
+    """CAT geometry. Defaults = the paper's tracker CAT (Section 6.4)."""
+
+    sets: int = 64
+    demand_ways: int = 14
+    extra_ways: int = 6
+    tables: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sets <= 0 or self.demand_ways <= 0 or self.extra_ways < 0:
+            raise ValueError("CAT geometry fields must be positive")
+        if self.tables != 2:
+            raise ValueError("CAT is defined for exactly 2 tables")
+
+    @property
+    def ways(self) -> int:
+        """Total ways per set (demand + extra)."""
+        return self.demand_ways + self.extra_ways
+
+    @property
+    def target_capacity(self) -> int:
+        """Demand capacity C = tables * sets * demand ways."""
+        return self.tables * self.sets * self.demand_ways
+
+    @property
+    def physical_slots(self) -> int:
+        """All slots including over-provisioning."""
+        return self.tables * self.sets * self.ways
+
+
+class CollisionAvoidanceTable:
+    """Two-table skew-associative key->value store."""
+
+    def __init__(self, config: CATConfig = CATConfig(), seed: int = 0) -> None:
+        self.config = config
+        self._keys = (seed * 2 + 0x9E3779B9, seed * 2 + 0x61C88647 + 1)
+        # Each set is a small dict key -> value (way occupancy).
+        self._sets: List[List[Dict[int, Any]]] = [
+            [{} for _ in range(config.sets)] for _ in range(config.tables)
+        ]
+        self._size = 0
+        self.relocations = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / mutate
+    # ------------------------------------------------------------------
+    def _set_index(self, table: int, key: int) -> int:
+        return keyed_hash(key, self._keys[table]) % self.config.sets
+
+    def _candidate_sets(self, key: int) -> List[Dict[int, Any]]:
+        return [
+            self._sets[table][self._set_index(table, key)]
+            for table in range(self.config.tables)
+        ]
+
+    def lookup(self, key: int) -> Optional[Any]:
+        """Value stored for ``key`` or None (set-associative search)."""
+        for candidate in self._candidate_sets(key):
+            if key in candidate:
+                return candidate[key]
+        return None
+
+    def update(self, key: int, value: Any) -> None:
+        """Overwrite the value of an existing key in place."""
+        for candidate in self._candidate_sets(key):
+            if key in candidate:
+                candidate[key] = value
+                return
+        raise KeyError(key)
+
+    def insert(self, key: int, value: Any) -> None:
+        """Install a new entry, load-balancing across the two tables.
+
+        Raises :class:`CATConflictError` only if both candidate sets are
+        full and no resident can be Cuckoo-relocated.
+        """
+        candidates = self._candidate_sets(key)
+        for candidate in candidates:
+            if key in candidate:
+                candidate[key] = value
+                return
+        target = min(candidates, key=len)
+        if len(target) >= self.config.ways:
+            if not self._relocate_one(candidates):
+                raise CATConflictError(
+                    f"CAT conflict installing key {key}: both sets full"
+                )
+            target = min(candidates, key=len)
+        target[key] = value
+        self._size += 1
+
+    def remove(self, key: int) -> Any:
+        """Delete an entry; returns its value. Raises KeyError if absent."""
+        for candidate in self._candidate_sets(key):
+            if key in candidate:
+                self._size -= 1
+                return candidate.pop(key)
+        raise KeyError(key)
+
+    def would_conflict(self, key: int) -> bool:
+        """True if installing ``key`` now would find both sets full."""
+        return all(
+            len(candidate) >= self.config.ways
+            for candidate in self._candidate_sets(key)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All (key, value) pairs, in storage order."""
+        for table in self._sets:
+            for stored in table:
+                yield from stored.items()
+
+    def set_loads(self) -> List[int]:
+        """Occupancy of every set (for conflict-probability analysis)."""
+        return [len(stored) for table in self._sets for stored in table]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _relocate_one(self, full_sets: List[Dict[int, Any]]) -> bool:
+        """MIRAGE-Lite fallback: move one resident to its alternate set."""
+        for stored in full_sets:
+            for resident_key in list(stored):
+                for alternate in self._candidate_sets(resident_key):
+                    if alternate is stored:
+                        continue
+                    if len(alternate) < self.config.ways:
+                        alternate[resident_key] = stored.pop(resident_key)
+                        self.relocations += 1
+                        return True
+        return False

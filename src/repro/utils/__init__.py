@@ -1,0 +1,40 @@
+"""Shared utilities: units, deterministic RNG streams, and statistics.
+
+These helpers are deliberately tiny and dependency-free so that every
+other subpackage (``repro.dram``, ``repro.mem``, ``repro.core``, ...) can
+use them without import cycles.
+"""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    bits_to_bytes,
+    format_bytes,
+    format_time_ns,
+    format_seconds,
+)
+from repro.utils.rng import DeterministicRng, derive_seed
+from repro.utils.stats import geomean, mean, normalized, percentile
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "bits_to_bytes",
+    "format_bytes",
+    "format_time_ns",
+    "format_seconds",
+    "DeterministicRng",
+    "derive_seed",
+    "geomean",
+    "mean",
+    "normalized",
+    "percentile",
+]

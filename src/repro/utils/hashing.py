@@ -1,0 +1,23 @@
+"""Keyed 64-bit hashing primitives.
+
+Shared by the CAT's index randomization, BlockHammer's Bloom filters,
+and the RRS PRNG. Lives in ``utils`` (not ``core``) so tracking
+structures can use it without importing the RRS package.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """One SplitMix64 finalization: a 64-bit bijective mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def keyed_hash(value: int, key: int) -> int:
+    """Keyed 64-bit hash; differently keyed instances act independent."""
+    return splitmix64((value & _MASK64) ^ splitmix64(key & _MASK64))

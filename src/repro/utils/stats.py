@@ -1,0 +1,52 @@
+"""Small statistics helpers used by benches and reports.
+
+The paper reports arithmetic means for swap counts (Figure 5) and
+geometric means for normalized performance (Figure 6); both live here so
+every bench aggregates the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty input."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean() of empty sequence")
+    return sum(items) / len(items)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    items = list(values)
+    if not items:
+        raise ValueError("geomean() of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geomean() requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def normalized(values: Sequence[float], baseline: Sequence[float]) -> list:
+    """Element-wise ratio ``values[i] / baseline[i]``."""
+    if len(values) != len(baseline):
+        raise ValueError("normalized() requires equal-length sequences")
+    return [v / b for v, b in zip(values, baseline)]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile, ``pct`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac

@@ -1,0 +1,64 @@
+"""Unit constants and human-readable formatting helpers.
+
+The simulator keeps all times in integer nanoseconds and all sizes in
+integer bytes; these constants make conversion sites self-describing.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+_SECONDS_PER_MINUTE = 60.0
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+_SECONDS_PER_YEAR = 365.25 * _SECONDS_PER_DAY
+
+
+def bits_to_bytes(bits: int) -> float:
+    """Convert a bit count to bytes (possibly fractional)."""
+    return bits / 8.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count as e.g. ``'35.0KB'`` or ``'1.2MB'``."""
+    if num_bytes >= GB:
+        return f"{num_bytes / GB:.1f}GB"
+    if num_bytes >= MB:
+        return f"{num_bytes / MB:.1f}MB"
+    if num_bytes >= KB:
+        return f"{num_bytes / KB:.1f}KB"
+    return f"{num_bytes:.0f}B"
+
+
+def format_time_ns(ns: float) -> str:
+    """Render a duration in nanoseconds with an appropriate unit."""
+    if ns >= NS_PER_S:
+        return f"{ns / NS_PER_S:.2f}s"
+    if ns >= NS_PER_MS:
+        return f"{ns / NS_PER_MS:.2f}ms"
+    if ns >= NS_PER_US:
+        return f"{ns / NS_PER_US:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a long duration the way the paper's Table 4 does.
+
+    Uses years / days / hours / minutes / seconds, picking the largest
+    unit in which the value is at least 1.
+    """
+    if seconds >= _SECONDS_PER_YEAR:
+        return f"{seconds / _SECONDS_PER_YEAR:.1f} years"
+    if seconds >= _SECONDS_PER_DAY:
+        return f"{seconds / _SECONDS_PER_DAY:.1f} days"
+    if seconds >= _SECONDS_PER_HOUR:
+        return f"{seconds / _SECONDS_PER_HOUR:.1f} hours"
+    if seconds >= _SECONDS_PER_MINUTE:
+        return f"{seconds / _SECONDS_PER_MINUTE:.1f} minutes"
+    return f"{seconds:.2f} seconds"

@@ -1,0 +1,38 @@
+"""Workloads: trace format, synthetic generators, and the paper's suite.
+
+The paper drives USIMM with Pin-captured traces of SPEC2006/2017, GAP,
+BIOBENCH, PARSEC and COMMERCIAL benchmarks. Those traces are not
+redistributable, so this package synthesizes traces calibrated to the
+three workload statistics the RRS evaluation actually depends on
+(Table 3): memory footprint, MPKI, and the number of rows receiving
+800+ activations per 64 ms window. See DESIGN.md §1.
+"""
+
+from repro.workloads.trace import TraceRecord, read_trace, write_trace
+from repro.workloads.cachefilter import RawAccess, filter_through_llc
+from repro.workloads.synthetic import (
+    ActivationProfile,
+    SyntheticTraceGenerator,
+)
+from repro.workloads.suites import (
+    WorkloadSpec,
+    WORKLOAD_TABLE,
+    ALL_WORKLOADS,
+    workloads_by_suite,
+    get_workload,
+)
+
+__all__ = [
+    "TraceRecord",
+    "read_trace",
+    "write_trace",
+    "RawAccess",
+    "filter_through_llc",
+    "ActivationProfile",
+    "SyntheticTraceGenerator",
+    "WorkloadSpec",
+    "WORKLOAD_TABLE",
+    "ALL_WORKLOADS",
+    "workloads_by_suite",
+    "get_workload",
+]

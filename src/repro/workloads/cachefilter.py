@@ -1,0 +1,56 @@
+"""Cache filtering: raw access streams -> post-LLC memory traces.
+
+The paper's traces are captured with Pin and filtered through an
+L1/L2(/LLC) hierarchy before reaching USIMM. Our synthetic generators
+emit post-LLC streams directly, but when you have a *raw* access stream
+(your own instrumentation, a replayed application log), this module
+performs the same reduction: hits disappear, misses become reads,
+dirty evictions become writebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.mem.cache import CacheConfig, LastLevelCache
+from repro.workloads.trace import TraceRecord
+
+
+class RawAccess(NamedTuple):
+    """One pre-cache access: ``gap`` instructions, then a load/store."""
+
+    instruction_gap: int
+    address: int
+    is_write: bool
+
+
+def filter_through_llc(
+    accesses: Iterable[RawAccess],
+    cache: LastLevelCache = None,
+) -> Iterator[TraceRecord]:
+    """Reduce a raw access stream to its post-LLC memory trace.
+
+    Instruction gaps of cache hits accumulate into the next miss's gap
+    (hits cost no memory traffic but their instructions still retire).
+    A miss emits one read; a dirty eviction additionally emits a
+    zero-gap writeback, mirroring how write-back caches generate DRAM
+    writes.
+    """
+    if cache is None:
+        cache = LastLevelCache(CacheConfig())
+    pending_gap = 0
+    for access in accesses:
+        pending_gap += access.instruction_gap
+        result = cache.access(access.address, access.is_write)
+        if result is None:
+            pending_gap += 1  # the hit's own instruction
+            continue
+        miss_address, writeback = result
+        yield TraceRecord(
+            instruction_gap=pending_gap,
+            address=miss_address,
+            is_write=False,
+        )
+        pending_gap = 0
+        if writeback:
+            yield TraceRecord(instruction_gap=0, address=miss_address, is_write=True)

@@ -1,0 +1,49 @@
+"""Trace record format and (de)serialization.
+
+A trace is a sequence of post-LLC memory accesses, each preceded by a
+count of non-memory instructions — the same shape as USIMM's trace
+format. Traces can be streamed from generators (the normal path) or
+round-tripped through a simple text format for inspection and reuse.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, NamedTuple, Union
+
+
+class TraceRecord(NamedTuple):
+    """One trace entry: ``instruction_gap`` non-memory instructions,
+    then a memory access to ``address`` (read or write)."""
+
+    instruction_gap: int
+    address: int
+    is_write: bool
+
+
+def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
+    """Write records as ``gap R|W 0xADDR`` lines; returns record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            kind = "W" if record.is_write else "R"
+            handle.write(f"{record.instruction_gap} {kind} 0x{record.address:x}\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records back from a file written by :func:`write_trace`."""
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[1] not in ("R", "W"):
+                raise ValueError(f"{path}:{line_number}: malformed trace line {line!r}")
+            yield TraceRecord(
+                instruction_gap=int(parts[0]),
+                address=int(parts[2], 16),
+                is_write=parts[1] == "W",
+            )

@@ -1,0 +1,55 @@
+"""Plain-text chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, s_curve
+
+
+class TestBarChart:
+    def test_linear_bars_proportional(self):
+        text = bar_chart(["a", "b"], [10, 20], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 20
+
+    def test_log_scale_compresses(self):
+        text = bar_chart(["small", "big"], [10, 1000], width=30, log=True)
+        lines = text.splitlines()
+        small = lines[0].count("#")
+        big = lines[1].count("#")
+        assert big == 30
+        assert small == 10  # log10(10)/log10(1000) = 1/3
+
+    def test_values_appear(self):
+        assert "1000" in bar_chart(["x"], [1000])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+
+class TestSCurve:
+    def test_grid_dimensions(self):
+        text = s_curve({"x": [1, 2, 3]}, height=6, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 6 grid rows + legend
+        assert all(len(line) >= 20 for line in lines[:-1])
+
+    def test_series_glyphs_in_legend(self):
+        text = s_curve({"RRS": [0.9, 1.0], "BH": [0.2, 0.8]})
+        assert "*=RRS" in text
+        assert "o=BH" in text
+
+    def test_extremes_labelled(self):
+        text = s_curve({"x": [0.25, 0.75]})
+        assert "0.750" in text
+        assert "0.250" in text
+
+    def test_empty(self):
+        assert "empty" in s_curve({})
+        assert "empty" in s_curve({"x": []})

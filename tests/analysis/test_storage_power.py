@@ -1,0 +1,67 @@
+"""Storage (Table 5) and power (Table 6) accounting."""
+
+import pytest
+
+from repro.analysis.power import PowerModel
+from repro.analysis.storage import rrs_storage_overhead
+from repro.utils.units import KB
+
+
+class TestStorage:
+    def test_table5_rit(self):
+        storage = rrs_storage_overhead()
+        assert storage.rit_entry_bits == 28
+        assert storage.rit_entries == 2 * 256 * 20
+        assert storage.rit_bytes == pytest.approx(35 * KB, rel=0.01)
+
+    def test_table5_tracker(self):
+        storage = rrs_storage_overhead()
+        assert storage.tracker_entry_bits == 22
+        assert storage.tracker_entries == 2 * 64 * 20
+        assert storage.tracker_bytes == pytest.approx(6.9 * KB, rel=0.02)
+
+    def test_table5_swap_buffers(self):
+        storage = rrs_storage_overhead()
+        assert storage.swap_buffer_bytes_per_bank == pytest.approx(1 * KB)
+
+    def test_table5_totals(self):
+        storage = rrs_storage_overhead()
+        assert storage.total_bytes_per_bank == pytest.approx(42.9 * KB, rel=0.01)
+        # Paper: ~686KB per rank (16 banks).
+        assert storage.total_bytes_per_rank(16) == pytest.approx(686 * KB, rel=0.01)
+
+
+class TestPower:
+    def test_sram_power_near_cacti_point(self):
+        model = PowerModel()
+        report = model.report(
+            activations=1_000_000,
+            line_transfers=10_000_000,
+            swap_ops=68,
+            accesses=10_000_000,
+            elapsed_s=0.064,
+        )
+        # Paper Table 6: 903mW SRAM per rank.
+        assert report.sram_total_mw == pytest.approx(903, rel=0.05)
+
+    def test_dram_overhead_near_half_percent_for_typical_run(self):
+        """Paper: 0.5% average DRAM power overhead at ~68 swaps/64ms."""
+        model = PowerModel()
+        report = model.report(
+            activations=1_000_000,
+            line_transfers=5_000_000,
+            swap_ops=68,
+            accesses=5_000_000,
+            elapsed_s=0.064,
+        )
+        assert 0.002 <= report.dram_overhead_fraction <= 0.01
+
+    def test_overhead_scales_with_swaps(self):
+        model = PowerModel()
+        few = model.report(1_000_000, 10_000_000, 10, 10_000_000, 0.064)
+        many = model.report(1_000_000, 10_000_000, 1000, 10_000_000, 0.064)
+        assert many.dram_overhead_fraction > 50 * few.dram_overhead_fraction
+
+    def test_elapsed_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel().report(1, 1, 1, 1, 0.0)

@@ -1,0 +1,92 @@
+"""Attack harness: timing, windows, and mitigation cost accounting."""
+
+import pytest
+
+from repro.attacks.base import AttackHarness
+from repro.attacks.patterns import SingleSidedAttack
+from repro.dram.config import DRAMConfig
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.none import NoMitigation
+
+
+def _small_dram():
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=4096, row_size_bytes=1024
+    )
+
+
+def test_requires_a_bound():
+    harness = AttackHarness(NoMitigation(), _small_dram(), t_rh=100)
+    with pytest.raises(ValueError):
+        harness.run(SingleSidedAttack(10).rows())
+
+
+def test_unmitigated_flip_at_exactly_t_rh():
+    harness = AttackHarness(NoMitigation(), _small_dram(), t_rh=100)
+    result = harness.run(SingleSidedAttack(10).rows(), max_activations=10_000)
+    assert result.succeeded
+    assert result.activations == 100  # stops at the first flip
+    assert {f.row for f in result.flips} == {9, 11}
+
+
+def test_stop_on_flip_disabled_counts_all():
+    harness = AttackHarness(NoMitigation(), _small_dram(), t_rh=100)
+    result = harness.run(
+        SingleSidedAttack(10).rows(), max_activations=500, stop_on_flip=False
+    )
+    assert result.activations == 500
+
+
+def test_activations_paced_by_trc():
+    dram = _small_dram()
+    harness = AttackHarness(NoMitigation(), dram, t_rh=10_000)
+    result = harness.run(SingleSidedAttack(10).rows(), max_activations=1000)
+    assert result.elapsed_ns == pytest.approx(1000 * dram.t_rc)
+    assert result.duty_cycle == pytest.approx(1.0)
+
+
+def test_window_rollover_resets_disturbance():
+    dram = DRAMConfig(
+        channels=1,
+        banks_per_rank=1,
+        rows_per_bank=4096,
+        row_size_bytes=1024,
+        refresh_window_ns=45 * 50,  # 50 activations per window
+    )
+    harness = AttackHarness(NoMitigation(), dram, t_rh=100)
+    result = harness.run(SingleSidedAttack(10).rows(), max_windows=5)
+    # 50 acts/window < T_RH=100: refresh always wins, no flips ever.
+    assert not result.succeeded
+    assert result.windows == 5
+
+
+def test_mitigation_costs_reduce_duty_cycle():
+    dram = _small_dram()
+    graphene = Graphene(
+        t_rh=100, mitigation_threshold=10, rows_per_bank=dram.rows_per_bank
+    )
+    harness = AttackHarness(graphene, dram, t_rh=100)
+    result = harness.run(
+        SingleSidedAttack(10).rows(), max_activations=1000, stop_on_flip=False
+    )
+    assert result.victim_refreshes == 200  # 2 per 10 activations
+    assert result.duty_cycle < 1.0
+
+
+def test_graphene_prevents_classic_flip():
+    # Classic Row Hammer physics: blast radius 1 (no distance-2
+    # coupling). With realistic coupling even the defense's own
+    # refreshes eventually flip distance-2 rows — the paper's point.
+    dram = _small_dram()
+    graphene = Graphene(
+        t_rh=100, mitigation_threshold=50, rows_per_bank=dram.rows_per_bank
+    )
+    harness = AttackHarness(
+        graphene,
+        dram,
+        t_rh=100,
+        distance2_coupling=0.0,
+        refresh_disturbs_neighbors=False,
+    )
+    result = harness.run(SingleSidedAttack(10).rows(), max_activations=20_000)
+    assert not result.succeeded

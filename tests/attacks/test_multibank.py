@@ -1,0 +1,50 @@
+"""All-bank adaptive attack: measured duty cycles (§5.3.2)."""
+
+import pytest
+
+from repro.attacks.multibank import MultiBankAttackHarness
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+from repro.mitigations.none import NoMitigation
+
+
+def _rrs_factory():
+    return lambda: RandomizedRowSwap(RRSConfig(), DRAMConfig())
+
+
+def test_unprotected_duty_cycle_is_full():
+    harness = MultiBankAttackHarness(lambda: NoMitigation(), banks=4)
+    result = harness.run_adaptive(t_rrs=800, max_activations=20_000)
+    assert result.duty_cycle == pytest.approx(1.0, abs=0.02)
+    assert result.swaps == 0
+
+
+def test_single_bank_duty_cycle_near_paper():
+    """One attacked bank: D ~ 0.93 (paper 0.925)."""
+    harness = MultiBankAttackHarness(_rrs_factory(), banks=1)
+    result = harness.run_adaptive(t_rrs=800, max_activations=120_000)
+    assert result.swaps > 0
+    assert 0.88 <= result.duty_cycle <= 0.97
+
+
+def test_all_bank_duty_cycle_drops():
+    """Sixteen attacked banks sharing the channel: D ~ 0.45-0.6
+    (paper 0.55)."""
+    harness = MultiBankAttackHarness(_rrs_factory(), banks=16)
+    result = harness.run_adaptive(t_rrs=800, max_activations=400_000)
+    assert result.swaps > 0
+    assert 0.35 <= result.duty_cycle <= 0.65
+
+
+def test_all_banks_get_hammered():
+    harness = MultiBankAttackHarness(_rrs_factory(), banks=8)
+    result = harness.run_adaptive(t_rrs=400, max_activations=50_000)
+    assert len(result.per_bank_activations) == 8
+    counts = list(result.per_bank_activations.values())
+    assert max(counts) - min(counts) <= 8  # round-robin fairness
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiBankAttackHarness(lambda: NoMitigation(), banks=0)

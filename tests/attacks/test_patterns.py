@@ -1,0 +1,79 @@
+"""Attack pattern generators."""
+
+import itertools
+
+import pytest
+
+from repro.attacks.patterns import (
+    DoubleSidedAttack,
+    HalfDoubleAttack,
+    ManySidedAttack,
+    SingleSidedAttack,
+)
+from repro.attacks.rrs_adaptive import RRSAdaptiveAttack
+
+
+def _take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+def test_single_sided_repeats_aggressor():
+    attack = SingleSidedAttack(100)
+    assert _take(attack.rows(), 5) == [100] * 5
+    assert attack.victims == (99, 101)
+
+
+def test_double_sided_alternates():
+    attack = DoubleSidedAttack(100)
+    assert _take(attack.rows(), 4) == [99, 101, 99, 101]
+    assert attack.victims == (100,)
+
+
+def test_many_sided_round_robin():
+    attack = ManySidedAttack([10, 20, 30])
+    assert _take(attack.rows(), 6) == [10, 20, 30, 10, 20, 30]
+    assert set(attack.victims) == {9, 11, 19, 21, 29, 31}
+
+
+def test_half_double_geometry():
+    attack = HalfDoubleAttack(victim=100, dose_interval=4)
+    assert attack.far == 101
+    assert attack.near == 102
+    rows = _take(attack.rows(), 12)
+    assert rows.count(attack.far) == 3  # every 4th activation
+    assert rows.count(attack.near) == 9
+
+
+def test_half_double_dose_interval_controls_trickle():
+    sparse = _take(HalfDoubleAttack(100, dose_interval=100).rows(), 1000)
+    assert sparse.count(101) == 10
+
+
+def test_adaptive_rounds_of_exactly_t():
+    attack = RRSAdaptiveAttack(t_rrs=7, rows_per_bank=1024, seed=3)
+    rows = _take(attack.rows(), 21)
+    assert rows[0:7] == [rows[0]] * 7
+    assert rows[7:14] == [rows[7]] * 7
+    assert rows[14:21] == [rows[14]] * 7
+    assert attack.rounds == 3
+
+
+def test_adaptive_targets_are_random_and_in_range():
+    attack = RRSAdaptiveAttack(t_rrs=2, rows_per_bank=64, seed=1)
+    rows = _take(attack.rows(), 200)
+    targets = set(rows)
+    assert len(targets) > 10
+    assert all(0 <= r < 64 for r in targets)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SingleSidedAttack(-1)
+    with pytest.raises(ValueError):
+        DoubleSidedAttack(0)
+    with pytest.raises(ValueError):
+        ManySidedAttack([1])
+    with pytest.raises(ValueError):
+        HalfDoubleAttack(100, dose_interval=0)
+    with pytest.raises(ValueError):
+        RRSAdaptiveAttack(t_rrs=0)

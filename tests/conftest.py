@@ -1,0 +1,26 @@
+"""Shared fixtures: small geometries so tests run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.config import DRAMConfig
+
+
+@pytest.fixture
+def small_dram() -> DRAMConfig:
+    """A small but structurally faithful DRAM: 1 channel, 4 banks,
+    1024 rows of 1KB; timing identical to the paper's DDR4-3200."""
+    return DRAMConfig(
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=1024,
+        row_size_bytes=1024,
+    )
+
+
+@pytest.fixture
+def paper_dram() -> DRAMConfig:
+    """The paper's full Table 2 configuration."""
+    return DRAMConfig()

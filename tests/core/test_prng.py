@@ -1,0 +1,64 @@
+"""PRINCE-style CTR-mode PRNG."""
+
+import pytest
+
+from repro.core.prng import PrinceStylePRNG
+
+
+def test_deterministic_given_key():
+    a = PrinceStylePRNG(key=99)
+    b = PrinceStylePRNG(key=99)
+    assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+
+def test_keys_give_independent_streams():
+    a = PrinceStylePRNG(key=1)
+    b = PrinceStylePRNG(key=2)
+    assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+
+def test_counter_advances():
+    prng = PrinceStylePRNG(key=0)
+    first = prng.next_u64()
+    second = prng.next_u64()
+    assert first != second
+    assert prng.counter == 2
+
+
+def test_below_is_unbiased_range():
+    prng = PrinceStylePRNG(key=5)
+    draws = [prng.below(7) for _ in range(7000)]
+    assert set(draws) == set(range(7))
+    # Roughly uniform: each value ~1000 +- 20%.
+    for value in range(7):
+        assert 750 <= draws.count(value) <= 1250
+
+
+def test_below_validation():
+    with pytest.raises(ValueError):
+        PrinceStylePRNG().below(0)
+
+
+def test_pick_row_respects_exclusion():
+    prng = PrinceStylePRNG(key=3)
+    excluded = set(range(0, 128, 2))  # all even rows
+    for _ in range(200):
+        row = prng.pick_row(128, lambda r: r in excluded)
+        assert row % 2 == 1
+
+
+def test_pick_row_uniform_over_eligible():
+    """Section 4.4: destination must be uniform over eligible rows."""
+    prng = PrinceStylePRNG(key=8)
+    counts = [0] * 16
+    for _ in range(16_000):
+        counts[prng.pick_row(16, lambda r: r == 0)] += 1
+    assert counts[0] == 0
+    for value in range(1, 16):
+        assert 800 <= counts[value] <= 1400
+
+
+def test_pick_row_gives_up_when_everything_excluded():
+    prng = PrinceStylePRNG(key=1)
+    with pytest.raises(RuntimeError):
+        prng.pick_row(4, lambda r: True)

@@ -1,0 +1,83 @@
+"""Probabilistic RRS (footnote 1): semantics and the scalability claim."""
+
+import pytest
+
+from repro.core.probabilistic import (
+    ProbabilisticRRS,
+    expected_swaps_per_window,
+    probability_for_threshold,
+)
+from repro.dram.config import DRAMConfig
+
+BANK = (0, 0, 0)
+
+
+def _small_dram(rows=4096):
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=rows, row_size_bytes=1024
+    )
+
+
+def test_probability_meets_guarantee():
+    p = probability_for_threshold(800, failure_probability=1e-6)
+    assert (1 - p) ** 800 <= 1.001e-6
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        probability_for_threshold(0)
+    with pytest.raises(ValueError):
+        probability_for_threshold(800, failure_probability=1.5)
+
+
+def test_footnote1_swap_rate_explosion():
+    """The paper's reason to reject stateless RRS at low thresholds:
+    the expected swap rate dwarfs the tracker's (~68/window benign,
+    <=1700 worst case)."""
+    stateless = expected_swaps_per_window(800)
+    tracker_worst_case = 1_360_000 // 800  # 1700
+    assert stateless > 10 * tracker_worst_case
+
+
+def test_footnote1_viable_at_high_thresholds():
+    """'These designs would be viable if the threshold were more than
+    an order of magnitude higher': the rate shrinks with T_RRS."""
+    low = expected_swaps_per_window(800)
+    high = expected_swaps_per_window(8000)
+    assert high < low / 9
+
+
+def test_mitigation_swaps_probabilistically():
+    rrs = ProbabilisticRRS(probability=0.5, dram=_small_dram(), seed=1)
+    for i in range(200):
+        rrs.on_activation(BANK, i % 10, i % 10, 0.0)
+    assert rrs.total_swaps == pytest.approx(100, rel=0.3)
+
+
+def test_mitigation_routes_after_swap():
+    rrs = ProbabilisticRRS(probability=1.0, dram=_small_dram(), seed=2)
+    outcome = rrs.on_activation(BANK, 7, 7, 0.0)
+    assert outcome.swaps
+    assert rrs.route(BANK, 7) != 7
+    assert outcome.channel_block_ns > 0
+
+
+def test_zero_swaps_when_lucky():
+    rrs = ProbabilisticRRS(probability=1e-9, dram=_small_dram(), seed=3)
+    for _ in range(1000):
+        rrs.on_activation(BANK, 5, 5, 0.0)
+    assert rrs.total_swaps == 0
+
+
+def test_window_end_unlocks_rit():
+    rrs = ProbabilisticRRS(probability=1.0, dram=_small_dram(), seed=4)
+    rrs.on_activation(BANK, 7, 7, 0.0)
+    state = rrs._banks[BANK]
+    assert state.rit.locked_entries() == 2
+    rrs.on_window_end(0)
+    assert state.rit.locked_entries() == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProbabilisticRRS(probability=0.0)

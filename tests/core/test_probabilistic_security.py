@@ -1,0 +1,52 @@
+"""Probabilistic RRS security: expensive but sound (footnote 1)."""
+
+from repro.attacks.base import AttackHarness
+from repro.attacks.patterns import DoubleSidedAttack, SingleSidedAttack
+from repro.core.probabilistic import ProbabilisticRRS, probability_for_threshold
+from repro.dram.config import DRAMConfig
+
+T_RH = 480
+ROWS = 128 * 1024
+
+
+def _dram():
+    return DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=ROWS, row_size_bytes=1024
+    )
+
+
+def _prob_rrs():
+    # Match the tracker's guarantee for T_RRS = T_RH/6.
+    return ProbabilisticRRS(
+        probability=probability_for_threshold(T_RH // 6, 1e-6),
+        dram=_dram(),
+        rit_capacity_tuples=200_000,
+        seed=2,
+    )
+
+
+def test_probabilistic_rrs_stops_classic_hammering():
+    """The stateless design is *secure* — the paper rejects it on swap
+    rate, not on protection."""
+    harness = AttackHarness(_prob_rrs(), _dram(), t_rh=T_RH, distance2_coupling=0.0)
+    result = harness.run(SingleSidedAttack(5000).rows(), max_activations=60_000)
+    assert not result.succeeded
+    assert result.swaps > 0
+
+
+def test_probabilistic_rrs_stops_double_sided():
+    harness = AttackHarness(_prob_rrs(), _dram(), t_rh=T_RH, distance2_coupling=0.0)
+    result = harness.run(DoubleSidedAttack(5000).rows(), max_activations=60_000)
+    assert not result.succeeded
+
+
+def test_swap_rate_is_the_cost():
+    """Footnote 1's objection, measured: the stateless defense swaps
+    on a fixed fraction of *all* activations."""
+    rrs = _prob_rrs()
+    harness = AttackHarness(rrs, _dram(), t_rh=T_RH, distance2_coupling=0.0)
+    result = harness.run(
+        SingleSidedAttack(5000).rows(), max_activations=20_000, stop_on_flip=False
+    )
+    swap_rate = result.swaps / result.activations
+    assert swap_rate > 0.05  # vs the tracker's ~1/T_RRS upper bound

@@ -1,0 +1,152 @@
+"""Row Indirection Table: routing, lock bits, lazy eviction."""
+
+import pytest
+
+from repro.core.rit import RowIndirectionTable
+
+
+def _routing_is_permutation(rit, universe):
+    routed = [rit.route(row) for row in universe]
+    assert sorted(routed) == sorted(universe)
+
+
+def test_unswapped_rows_route_to_themselves():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    assert rit.route(5) == 5
+    assert not rit.is_swapped(5)
+    assert len(rit) == 0
+
+
+def test_plain_swap_routes_both_ways():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    ops = rit.swap(1, 2)
+    assert len(ops) == 1
+    assert ops[0].kind == "swap"
+    assert (ops[0].phys_a, ops[0].phys_b) == (1, 2)
+    assert rit.route(1) == 2
+    assert rit.route(2) == 1
+    assert len(rit) == 2  # one tuple = two directional entries
+
+
+def test_swap_back_clears_entries():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    rit.end_window()
+    rit.swap(1, 2)  # swapping again restores identity
+    assert rit.route(1) == 1
+    assert rit.route(2) == 2
+    assert len(rit) == 0
+
+
+def test_reswap_extends_cycle_and_stays_a_permutation():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    ops = rit.swap(1, 3)  # re-swap of already-swapped row 1
+    # Physical exchange moves 1's data from physical 2 to physical 3.
+    assert (ops[-1].phys_a, ops[-1].phys_b) == (2, 3)
+    assert rit.route(1) == 3
+    _routing_is_permutation(rit, range(10))
+    assert len(rit) == 3  # 3-cycle: more entries than a plain pair
+
+
+def test_self_swap_rejected():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    with pytest.raises(ValueError):
+        rit.swap(4, 4)
+
+
+def test_locked_entries_not_evicted():
+    rit = RowIndirectionTable(capacity_tuples=2)  # 4 directional entries
+    rit.swap(1, 2)
+    rit.swap(3, 4)
+    # Table full of current-window (locked) entries: a third swap has
+    # nothing evictable.
+    with pytest.raises(RuntimeError):
+        rit.swap(5, 6)
+
+
+def test_lazy_eviction_after_window_end():
+    rit = RowIndirectionTable(capacity_tuples=2)
+    rit.swap(1, 2)
+    rit.swap(3, 4)
+    rit.end_window()
+    ops = rit.swap(5, 6)  # forces eviction of a stale tuple
+    kinds = [op.kind for op in ops]
+    assert "unswap" in kinds and kinds[-1] == "swap"
+    assert rit.route(5) == 6
+    _routing_is_permutation(rit, range(10))
+    assert rit.evictions >= 1
+
+
+def test_unswap_restores_identity():
+    rit = RowIndirectionTable(capacity_tuples=2)
+    rit.swap(1, 2)
+    rit.end_window()
+    rit.swap(3, 4)
+    rit.end_window()
+    rit.swap(5, 6)  # evicts the 1<->2 tuple
+    assert rit.route(1) == 1
+    assert rit.route(2) == 2
+
+
+def test_locked_entries_counter():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    assert rit.locked_entries() == 2
+    rit.end_window()
+    assert rit.locked_entries() == 0
+
+
+def test_drain_unswaps_stale_entries():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    rit.swap(3, 4)
+    rit.end_window()
+    ops = rit.drain()
+    assert len(ops) == 2
+    assert len(rit) == 0
+    assert rit.route(1) == 1
+
+
+def test_drain_respects_max_and_locks():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    rit.end_window()
+    rit.swap(3, 4)  # locked this window
+    ops = rit.drain(max_evictions=5)
+    assert len(ops) == 1  # only the stale tuple drains
+    assert rit.route(3) == 4
+
+
+def test_reswap_chain_remains_consistent_under_eviction():
+    rit = RowIndirectionTable(capacity_tuples=4, evict_rng=lambda n: 0)
+    rit.swap(10, 20)
+    rit.swap(10, 30)  # 3-cycle
+    rit.end_window()
+    rit.drain()
+    _routing_is_permutation(rit, range(40))
+    assert len(rit) == 0
+
+
+def test_cat_backed_rit_matches_dict_backed():
+    plain = RowIndirectionTable(capacity_tuples=16, use_cat=False)
+    cat = RowIndirectionTable(capacity_tuples=16, use_cat=True)
+    operations = [(1, 2), (3, 4), (1, 5), (6, 7)]
+    for a, b in operations:
+        plain.swap(a, b)
+        cat.swap(a, b)
+    for row in range(10):
+        assert plain.route(row) == cat.route(row)
+
+
+def test_resident_of_inverse():
+    rit = RowIndirectionTable(capacity_tuples=8)
+    rit.swap(1, 2)
+    assert rit.resident_of(2) == 1  # 1's data sits at physical 2
+    assert rit.resident_of(1) == 2
+    assert rit.resident_of(9) == 9
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RowIndirectionTable(capacity_tuples=0)

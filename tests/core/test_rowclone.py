@@ -1,0 +1,86 @@
+"""RowClone-accelerated swap engine (Section 8.1's optimization)."""
+
+import pytest
+
+from repro.core.rowclone import RowCloneSwapEngine
+from repro.core.swap import SwapOp
+from repro.dram.config import DRAMConfig
+
+
+def test_fast_path_latency_much_lower(paper_dram):
+    engine = RowCloneSwapEngine(paper_dram)
+    # Staging stream (365ns) + two 2*tRC in-DRAM copies (180ns) = 545ns
+    # vs 1460ns streamed.
+    assert engine.fast_op_latency_ns == pytest.approx(365 + 180)
+    assert engine.speedup_when_local > 2.5
+
+
+def test_same_subarray_pairs_take_fast_path(paper_dram):
+    engine = RowCloneSwapEngine(paper_dram, subarray_rows=512)
+    blocked = engine.execute([SwapOp(10, 20, "swap")])
+    assert engine.fast_swaps == 1
+    assert blocked == pytest.approx(engine.fast_op_latency_ns)
+
+
+def test_cross_subarray_pairs_fall_back(paper_dram):
+    engine = RowCloneSwapEngine(paper_dram, subarray_rows=512)
+    blocked = engine.execute([SwapOp(10, 5000, "swap")])
+    assert engine.slow_swaps == 1
+    assert blocked == pytest.approx(engine.op_latency_ns)
+
+
+def test_linked_subarrays_make_everything_fast(paper_dram):
+    engine = RowCloneSwapEngine(paper_dram, assume_linked_subarrays=True)
+    engine.execute([SwapOp(10, 100_000, "swap"), SwapOp(1, 2, "unswap")])
+    assert engine.fast_swaps == 2
+    assert engine.slow_swaps == 0
+
+
+def test_latency_scale_applies(paper_dram):
+    engine = RowCloneSwapEngine(
+        paper_dram, latency_scale=10.0, assume_linked_subarrays=True
+    )
+    blocked = engine.execute([SwapOp(1, 2, "swap")])
+    assert blocked == pytest.approx((365 + 180) / 10.0)
+
+
+def test_accounting(paper_dram):
+    engine = RowCloneSwapEngine(paper_dram, subarray_rows=512)
+    engine.execute([SwapOp(1, 2, "swap"), SwapOp(1, 100_000, "swap")])
+    assert engine.ops_executed == 2
+    assert engine.total_blocked_ns == pytest.approx(
+        engine.fast_op_latency_ns + engine.op_latency_ns
+    )
+
+
+def test_validation(paper_dram):
+    with pytest.raises(ValueError):
+        RowCloneSwapEngine(paper_dram, subarray_rows=0)
+
+
+def test_plugs_into_rrs(paper_dram):
+    from repro.core.config import RRSConfig
+    from repro.core.rrs import RandomizedRowSwap
+
+    dram = DRAMConfig(
+        channels=1, banks_per_rank=1, rows_per_bank=4096, row_size_bytes=1024
+    )
+    rrs = RandomizedRowSwap(
+        RRSConfig(
+            t_rh=60,
+            t_rrs=10,
+            window_activations=640,
+            rows_per_bank=4096,
+            tracker_entries=64,
+            rit_capacity_tuples=128,
+        ),
+        dram,
+        engine_factory=lambda: RowCloneSwapEngine(
+            dram, assume_linked_subarrays=True
+        ),
+    )
+    for _ in range(10):
+        rrs.on_activation((0, 0, 0), 5, rrs.route((0, 0, 0), 5), 0.0)
+    engine = rrs.swap_engine(0)
+    assert isinstance(engine, RowCloneSwapEngine)
+    assert engine.fast_swaps == 1

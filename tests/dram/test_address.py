@@ -1,0 +1,58 @@
+"""Address mapping: decode/encode round trips and interleaving."""
+
+import pytest
+
+from repro.dram.address import AddressMapper, DecodedAddress
+
+
+def test_roundtrip_exhaustive_small(small_dram):
+    mapper = AddressMapper(small_dram)
+    for address in range(0, 64 * 1024, small_dram.line_size_bytes):
+        decoded = mapper.decode(address)
+        assert mapper.encode(decoded) == address
+
+
+def test_roundtrip_sampled_full(paper_dram):
+    mapper = AddressMapper(paper_dram)
+    for address in range(0, paper_dram.capacity_bytes, 97 * 64 * 1024 + 64):
+        decoded = mapper.decode(address)
+        assert mapper.encode(decoded) == address
+
+
+def test_consecutive_lines_interleave_channels(paper_dram):
+    mapper = AddressMapper(paper_dram)
+    a = mapper.decode(0)
+    b = mapper.decode(64)
+    assert a.channel != b.channel
+
+
+def test_same_row_lines_are_column_neighbours(paper_dram):
+    mapper = AddressMapper(paper_dram)
+    base = mapper.decode(0)
+    step = 64 * paper_dram.channels * paper_dram.banks_per_rank
+    neighbour = mapper.decode(step)
+    assert neighbour.bank_key == base.bank_key
+    assert neighbour.row == base.row
+    assert neighbour.column == base.column + 1
+
+
+def test_fields_stay_in_range(paper_dram):
+    mapper = AddressMapper(paper_dram)
+    for address in range(0, 10**9, 6400 * 64 + 64):
+        d = mapper.decode(address)
+        assert 0 <= d.channel < paper_dram.channels
+        assert 0 <= d.bank < paper_dram.banks_per_rank
+        assert 0 <= d.row < paper_dram.rows_per_bank
+        assert 0 <= d.column < paper_dram.lines_per_row
+
+
+def test_row_address_targets_column_zero(paper_dram):
+    mapper = AddressMapper(paper_dram)
+    address = mapper.row_address(channel=1, rank=0, bank=5, row=777)
+    decoded = mapper.decode(address)
+    assert decoded == DecodedAddress(channel=1, rank=0, bank=5, row=777, column=0)
+
+
+def test_negative_address_rejected(paper_dram):
+    with pytest.raises(ValueError):
+        AddressMapper(paper_dram).decode(-1)

@@ -1,0 +1,46 @@
+"""DDR command vocabulary and the mitigation outcome contract."""
+
+from repro.dram.commands import Command, CommandKind
+from repro.mitigations.base import (
+    BankKey,
+    Mitigation,
+    MitigationOutcome,
+    NOOP_OUTCOME,
+)
+
+
+class TestCommands:
+    def test_kinds_cover_the_modelled_subset(self):
+        values = {kind.value for kind in CommandKind}
+        assert {"ACT", "PRE", "RD", "WR", "REF", "STREAM"} == values
+
+    def test_command_str_is_readable(self):
+        command = Command(
+            kind=CommandKind.ACTIVATE,
+            channel=1,
+            rank=0,
+            bank=5,
+            row=777,
+            issue_time_ns=45.0,
+        )
+        text = str(command)
+        assert "ACT" in text and "row777" in text and "ba5" in text
+
+
+class TestMitigationContract:
+    def test_noop_outcome_flags(self):
+        assert NOOP_OUTCOME.is_noop
+        assert not MitigationOutcome(refresh_rows=[1]).is_noop
+        assert not MitigationOutcome(channel_block_ns=1.0).is_noop
+        assert not MitigationOutcome(swaps=[(1, 2)]).is_noop
+        assert not MitigationOutcome(refresh_all_bank=True).is_noop
+
+    def test_base_mitigation_is_transparent(self):
+        base = Mitigation()
+        key: BankKey = (0, 0, 0)
+        assert base.route(key, 42) == 42
+        assert base.lookup_latency_ns() == 0.0
+        assert base.pre_activate_delay_ns(key, 42, 0.0) == 0.0
+        assert base.on_activation(key, 42, 42, 0.0).is_noop
+        assert base.storage_bits_per_bank(1024) == 0
+        base.on_window_end(0)  # must not raise

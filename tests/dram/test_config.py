@@ -1,0 +1,74 @@
+"""DRAM configuration: Table 2 values and derived quantities."""
+
+import pytest
+
+from repro.dram.config import DDR4_3200_DEFAULT, DRAMConfig
+
+
+def test_paper_table2_defaults(paper_dram):
+    assert paper_dram.channels == 2
+    assert paper_dram.ranks_per_channel == 1
+    assert paper_dram.banks_per_rank == 16
+    assert paper_dram.rows_per_bank == 128 * 1024
+    assert paper_dram.row_size_bytes == 8 * 1024
+    assert (paper_dram.t_rcd, paper_dram.t_rp, paper_dram.t_cas) == (14, 14, 14)
+    assert paper_dram.t_rc == 45
+    assert paper_dram.t_rfc == 350
+    assert paper_dram.t_refi == 7_800
+    assert paper_dram.refresh_window_ns == 64_000_000
+
+
+def test_capacity_is_32gb(paper_dram):
+    assert paper_dram.capacity_bytes == 32 * 1024**3
+
+
+def test_act_max_matches_paper(paper_dram):
+    # Paper: ~1.36 million activations per bank per 64ms.
+    assert 1_330_000 <= paper_dram.acts_per_refresh_window <= 1_380_000
+
+
+def test_row_id_bits(paper_dram):
+    assert paper_dram.row_id_bits == 17
+
+
+def test_line_transfer_matches_streaming_arithmetic(paper_dram):
+    # One 64B line every 4 bus cycles at 1.6GHz -> 2.5ns.
+    assert paper_dram.line_transfer_ns == pytest.approx(2.5)
+
+
+def test_row_stream_is_365ns(paper_dram):
+    # Paper Section 4.4: ~365ns to stream an 8KB row.
+    assert paper_dram.row_stream_ns == pytest.approx(365.0)
+
+
+def test_row_swap_is_1_46us(paper_dram):
+    # Four transfers -> ~1.46us.
+    assert paper_dram.row_swap_ns == pytest.approx(1460.0)
+
+
+def test_default_instance_is_paper_config():
+    assert DDR4_3200_DEFAULT == DRAMConfig()
+
+
+def test_scaled_shrinks_only_the_window(paper_dram):
+    scaled = paper_dram.scaled(64)
+    assert scaled.refresh_window_ns == paper_dram.refresh_window_ns // 64
+    assert scaled.t_rc == paper_dram.t_rc
+    assert scaled.rows_per_bank == paper_dram.rows_per_bank
+    assert scaled.acts_per_refresh_window == pytest.approx(
+        paper_dram.acts_per_refresh_window / 64, rel=0.01
+    )
+
+
+def test_scaled_rejects_bad_factor(paper_dram):
+    with pytest.raises(ValueError):
+        paper_dram.scaled(0)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DRAMConfig(rows_per_bank=0)
+    with pytest.raises(ValueError):
+        DRAMConfig(row_size_bytes=100)  # not a whole number of lines
+    with pytest.raises(ValueError):
+        DRAMConfig(t_rc=5, t_rcd=14)

@@ -1,0 +1,124 @@
+"""Row Hammer disturbance fault model."""
+
+import pytest
+
+from repro.dram.faults import DisturbanceModel
+
+
+@pytest.fixture
+def model():
+    return DisturbanceModel(rows=1024, t_rh=100.0, distance2_coupling=0.016)
+
+
+def test_activation_disturbs_immediate_neighbours(model):
+    model.on_activate(500)
+    assert model.disturbance_of(499) >= 1.0
+    assert model.disturbance_of(501) >= 1.0
+
+
+def test_activation_restores_own_row(model):
+    model.on_activate(501)  # row 500 is now disturbed
+    assert model.disturbance_of(500) > 0
+    model.on_activate(500)  # activating 500 restores it
+    assert model.disturbance_of(500) == 0.0
+
+
+def test_distance2_coupling_is_weak(model):
+    model.on_activate(500, count=100)
+    assert model.disturbance_of(498) == pytest.approx(100 * 0.016)
+    assert model.disturbance_of(502) == pytest.approx(100 * 0.016)
+
+
+def test_flip_at_threshold(model):
+    model.on_activate(500, count=100)
+    flips = {f.row for f in model.flips}
+    assert flips == {499, 501}
+
+
+def test_no_flip_below_threshold(model):
+    model.on_activate(500, count=99)
+    assert model.flip_count == 0
+
+
+def test_one_flip_event_per_row_per_window(model):
+    model.on_activate(500, count=300)
+    assert model.flip_count == 2  # 499 and 501 once each, not thrice
+
+
+def test_window_end_resets_everything(model):
+    model.on_activate(500, count=99)
+    model.end_window()
+    assert model.disturbance_of(499) == 0.0
+    model.on_activate(500, count=99)
+    assert model.flip_count == 0  # charge cannot straddle windows
+
+
+def test_targeted_refresh_restores_victim(model):
+    model.on_activate(500, count=50)
+    assert model.disturbance_of(499) == pytest.approx(50.0)
+    model.on_refresh_row(499)
+    # The refresh restores 499's charge...
+    assert model.disturbance_of(499) == 0.0
+    # ...and, being internally an activation, disturbs 499's neighbours.
+    assert model.disturbance_of(498) >= 1.0
+
+
+def test_refresh_disturbs_neighbours_the_half_double_mechanism(model):
+    # Repeated mitigative refreshes of row F are activations of F:
+    # F's neighbour V accumulates disturbance and eventually flips.
+    for _ in range(100):
+        model.on_refresh_row(500)
+    assert any(f.row in (499, 501) for f in model.flips)
+    assert all(f.cause == "refresh" for f in model.flips)
+
+
+def test_refresh_side_effects_can_be_disabled():
+    ideal = DisturbanceModel(rows=64, t_rh=10.0, refresh_disturbs_neighbors=False)
+    for _ in range(100):
+        ideal.on_refresh_row(30)
+    assert ideal.flip_count == 0
+
+
+def test_edge_rows_have_fewer_neighbours(model):
+    model.on_activate(0, count=100)
+    assert model.disturbance_of(1) >= 100
+    assert model.flip_count == 1  # only row 1; row -1 does not exist
+
+
+def test_bulk_matches_scalar():
+    scalar = DisturbanceModel(rows=256, t_rh=50.0)
+    bulk = DisturbanceModel(rows=256, t_rh=50.0)
+    pattern = [10, 11, 10, 12, 10] * 30
+    for row in pattern:
+        scalar.on_activate(row)
+    bulk.on_activate_many(pattern)
+    for row in range(256):
+        # Bulk applies counts at once (own-row restore ordering differs
+        # for rows that are both hammered and neighboured), so compare
+        # only pure-victim rows.
+        if row not in (10, 11, 12):
+            assert bulk.disturbance_of(row) == pytest.approx(
+                scalar.disturbance_of(row)
+            )
+
+
+def test_rows_over_reports_threshold_crossers(model):
+    model.on_activate(500, count=60)
+    over = set(model.rows_over(50.0))
+    assert {499, 501} <= over
+
+
+def test_row_bounds_validated(model):
+    with pytest.raises(ValueError):
+        model.on_activate(5000)
+    with pytest.raises(ValueError):
+        model.disturbance_of(-1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DisturbanceModel(rows=0)
+    with pytest.raises(ValueError):
+        DisturbanceModel(rows=10, t_rh=0)
+    with pytest.raises(ValueError):
+        DisturbanceModel(rows=10, distance2_coupling=2.0)

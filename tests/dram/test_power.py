@@ -1,0 +1,74 @@
+"""Device-level DRAM power model."""
+
+import pytest
+
+from repro.dram.power import DramPowerModel, IDDCurrents
+
+
+@pytest.fixture
+def model(paper_dram):
+    return DramPowerModel(paper_dram)
+
+
+def test_act_pre_energy_magnitude(model):
+    # (55-40)mA * 1.2V * 45ns = 810pJ — the right order for DDR4.
+    assert model.energy_act_pre_pj == pytest.approx(810.0)
+
+
+def test_burst_energies(model):
+    assert model.energy_read_pj == pytest.approx(100 * 1.2 * 2.5)
+    assert model.energy_write_pj < model.energy_read_pj
+
+
+def test_refresh_energy(model):
+    assert model.energy_refresh_pj == pytest.approx(160 * 1.2 * 350)
+
+
+def test_row_swap_energy_composition(model):
+    lines = model.config.lines_per_row
+    expected = 4 * 810.0 + 2 * lines * (
+        model.energy_read_pj + model.energy_write_pj
+    )
+    assert model.energy_row_swap_pj == pytest.approx(expected)
+    # One swap costs about one hundred thousand pJ — tiny next to the
+    # millions of ACTs a window performs, hence the paper's 0.5%.
+    assert 50_000 < model.energy_row_swap_pj < 200_000
+
+
+def test_background_power_interpolates(model):
+    idle = model.background_power_mw(0.0)
+    busy = model.background_power_mw(1.0)
+    assert idle == pytest.approx(30 * 1.2)
+    assert busy == pytest.approx(40 * 1.2)
+    assert idle < model.background_power_mw(0.5) < busy
+
+
+def test_rank_power_for_a_busy_window(model):
+    # A fully ACT-bound bank for one 64ms window.
+    power = model.rank_power_mw(
+        activations=1_360_000,
+        reads=5_000_000,
+        writes=2_000_000,
+        refresh_bursts=8200,
+        elapsed_s=0.064,
+    )
+    # Real DDR4 ranks under load sit in the hundreds of mW to few W.
+    assert 50 < power < 5000
+
+
+def test_dynamic_power_scales_with_activity(model):
+    low = model.operation_power_mw(1000, 1000, 0, 0, 0.064)
+    high = model.operation_power_mw(100_000, 100_000, 0, 0, 0.064)
+    assert high == pytest.approx(100 * low, rel=0.01)
+
+
+def test_validation(model):
+    with pytest.raises(ValueError):
+        model.background_power_mw(1.5)
+    with pytest.raises(ValueError):
+        model.operation_power_mw(1, 1, 1, 1, 0.0)
+
+
+def test_custom_currents():
+    hot = DramPowerModel(currents=IDDCurrents(idd0=80.0))
+    assert hot.energy_act_pre_pj > DramPowerModel().energy_act_pre_pj

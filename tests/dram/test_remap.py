@@ -1,0 +1,152 @@
+"""Vendor row scrambling."""
+
+import pytest
+
+from repro.dram.remap import RowScramble
+
+
+@pytest.mark.parametrize("scheme", RowScramble.SCHEMES)
+def test_scramble_is_a_bijection(scheme):
+    scramble = RowScramble(rows=256, scheme=scheme, key=5)
+    internals = [scramble.to_internal(r) for r in range(256)]
+    assert sorted(internals) == list(range(256))
+    for row in range(256):
+        assert scramble.to_controller(scramble.to_internal(row)) == row
+
+
+def test_identity_scheme():
+    scramble = RowScramble(rows=64, scheme="identity")
+    assert all(scramble.to_internal(r) == r for r in range(64))
+
+
+def test_bitflip_breaks_arithmetic_adjacency():
+    scramble = RowScramble(rows=64, scheme="bitflip")
+    # In a flipped group, controller rows r and r+1 are NOT internal
+    # neighbours.
+    broken = [
+        r
+        for r in range(63)
+        if abs(scramble.to_internal(r) - scramble.to_internal(r + 1)) != 1
+    ]
+    assert broken
+
+
+def test_keyed_differs_per_key():
+    a = RowScramble(rows=128, scheme="keyed", key=1)
+    b = RowScramble(rows=128, scheme="keyed", key=2)
+    assert [a.to_internal(r) for r in range(128)] != [
+        b.to_internal(r) for r in range(128)
+    ]
+
+
+def test_internal_neighbors_are_physically_adjacent():
+    scramble = RowScramble(rows=256, scheme="keyed", key=3)
+    row = 100
+    wordline = scramble.to_internal(row)
+    neighbours = list(scramble.internal_neighbors(row))
+    assert {scramble.to_internal(n) for n in neighbours} == {
+        wordline - 1,
+        wordline + 1,
+    }
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RowScramble(rows=100)  # not a power of two
+    with pytest.raises(ValueError):
+        RowScramble(rows=64, scheme="magic")
+    with pytest.raises(ValueError):
+        RowScramble(rows=64).to_internal(64)
+
+
+class TestScrambleAttackScenario:
+    """The Table 7 'works without knowing DRAM mapping' row, live."""
+
+    T_RH = 200
+    ROWS = 4096
+
+    def _harness(self, mitigation, scramble):
+        from repro.attacks.base import AttackHarness
+        from repro.dram.config import DRAMConfig
+
+        dram = DRAMConfig(
+            channels=1,
+            banks_per_rank=1,
+            rows_per_bank=self.ROWS,
+            row_size_bytes=1024,
+        )
+        return AttackHarness(
+            mitigation,
+            dram,
+            t_rh=self.T_RH,
+            distance2_coupling=0.0,
+            refresh_disturbs_neighbors=False,
+            scramble=scramble,
+        )
+
+    def test_vfm_fails_under_unknown_scramble(self):
+        """Arithmetic +-1 refreshes hit the wrong wordlines."""
+        from repro.attacks.patterns import SingleSidedAttack
+        from repro.mitigations.ideal_vfm import IdealVictimRefresh
+
+        scramble = RowScramble(rows=self.ROWS, scheme="keyed", key=4)
+        vfm = IdealVictimRefresh(
+            t_rh=self.T_RH, mitigation_threshold=50, rows_per_bank=self.ROWS
+        )
+        # Under a keyed scramble the aggressor's physical neighbours are
+        # (essentially never) its arithmetic neighbours.
+        aggressor = 101
+        assert set(scramble.internal_neighbors(aggressor)) != {
+            aggressor - 1,
+            aggressor + 1,
+        }
+        result = self._harness(vfm, scramble).run(
+            SingleSidedAttack(aggressor).rows(), max_activations=20_000
+        )
+        assert result.succeeded  # refreshes went to the wrong rows
+
+    def test_vfm_succeeds_with_disclosed_mapping(self):
+        from repro.attacks.patterns import SingleSidedAttack
+        from repro.mitigations.ideal_vfm import IdealVictimRefresh
+
+        scramble = RowScramble(rows=self.ROWS, scheme="keyed", key=4)
+        vfm = IdealVictimRefresh(
+            t_rh=self.T_RH,
+            mitigation_threshold=50,
+            rows_per_bank=self.ROWS,
+            neighbors=lambda r: list(scramble.internal_neighbors(r)),
+        )
+        result = self._harness(vfm, scramble).run(
+            SingleSidedAttack(101).rows(), max_activations=20_000
+        )
+        assert not result.succeeded
+
+    def test_rrs_indifferent_to_scramble(self):
+        from repro.attacks.patterns import SingleSidedAttack
+        from repro.core.config import RRSConfig
+        from repro.core.rrs import RandomizedRowSwap
+        from repro.dram.config import DRAMConfig
+
+        scramble = RowScramble(rows=self.ROWS, scheme="keyed", key=9)
+        t_rrs = self.T_RH // 6
+        dram = DRAMConfig(
+            channels=1,
+            banks_per_rank=1,
+            rows_per_bank=self.ROWS,
+            row_size_bytes=1024,
+        )
+        rrs = RandomizedRowSwap(
+            RRSConfig(
+                t_rh=self.T_RH,
+                t_rrs=t_rrs,
+                window_activations=200_000,
+                rows_per_bank=self.ROWS,
+                tracker_entries=1024,
+                rit_capacity_tuples=2048,
+            ),
+            dram,
+        )
+        result = self._harness(rrs, scramble).run(
+            SingleSidedAttack(101).rows(), max_activations=60_000
+        )
+        assert not result.succeeded

@@ -1,0 +1,70 @@
+"""Bank timing state machine: DDR4 constraint enforcement."""
+
+import pytest
+
+from repro.dram.timing import BankTimingState
+
+
+@pytest.fixture
+def bank_timing(paper_dram):
+    return BankTimingState(config=paper_dram)
+
+
+def test_cold_miss_latency(bank_timing, paper_dram):
+    outcome = bank_timing.access(row=10, now_ns=0.0)
+    # No precharge needed on a closed bank: ACT at 0, data at tRCD+tCAS.
+    assert not outcome.row_buffer_hit
+    assert outcome.activated
+    assert outcome.data_ns == paper_dram.t_rcd + paper_dram.t_cas
+
+
+def test_row_buffer_hit_costs_cas_only(bank_timing, paper_dram):
+    first = bank_timing.access(row=10, now_ns=0.0)
+    second = bank_timing.access(row=10, now_ns=first.data_ns)
+    assert second.row_buffer_hit
+    assert not second.activated
+    assert second.data_ns == first.data_ns + paper_dram.t_cas
+
+
+def test_conflict_adds_precharge(bank_timing, paper_dram):
+    first = bank_timing.access(row=10, now_ns=0.0)
+    second = bank_timing.access(row=11, now_ns=first.data_ns)
+    assert not second.row_buffer_hit
+    # ACT time is the later of (data + tRP) and (previous ACT + tRC);
+    # for 14-14-14/45 timing the tRC constraint dominates.
+    act_at = max(
+        first.data_ns + paper_dram.t_rp,
+        0.0 + paper_dram.t_rc,
+    )
+    expected = act_at + paper_dram.t_rcd + paper_dram.t_cas
+    assert second.data_ns == pytest.approx(expected)
+
+
+def test_trc_limits_back_to_back_activates(bank_timing, paper_dram):
+    bank_timing.access(row=1, now_ns=0.0)
+    # Immediately request another row: the second ACT cannot issue
+    # before tRC after the first, whatever the other constraints say.
+    second = bank_timing.access(row=2, now_ns=0.0)
+    assert second.data_ns >= paper_dram.t_rc + paper_dram.t_rcd + paper_dram.t_cas - 1e-9
+
+
+def test_activate_only_respects_trc(bank_timing, paper_dram):
+    t0 = bank_timing.activate_only(row=5, now_ns=0.0)
+    t1 = bank_timing.activate_only(row=6, now_ns=0.0)
+    assert t1 - t0 >= paper_dram.t_rc - 1e-9
+
+
+def test_precharge_closes_row(bank_timing, paper_dram):
+    bank_timing.access(row=3, now_ns=0.0)
+    ready = bank_timing.precharge(now_ns=100.0)
+    assert bank_timing.open_row == -1
+    assert ready >= 100.0
+    # Next access to the same row must activate again.
+    outcome = bank_timing.access(row=3, now_ns=ready)
+    assert outcome.activated
+
+
+def test_block_until_defers_service(bank_timing):
+    bank_timing.block_until(10_000.0)
+    outcome = bank_timing.access(row=1, now_ns=0.0)
+    assert outcome.start_ns >= 10_000.0

@@ -1,0 +1,101 @@
+"""End-to-end integration: workloads through the full stack with RRS."""
+
+import pytest
+
+from repro.analysis.perf import run_pair, run_workload
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.graphene import Graphene
+from repro.workloads.suites import get_workload
+
+SCALE = 64
+
+
+def _scaled_rrs(**kwargs):
+    dram = DRAMConfig().scaled(SCALE)
+    config = RRSConfig.for_threshold(4800, DRAMConfig(), **kwargs).scaled(SCALE)
+    return RandomizedRowSwap(config, dram)
+
+
+def test_hot_workload_swaps_and_slows_mildly():
+    result = run_pair(
+        get_workload("hmmer"), _scaled_rrs, scale=SCALE, records_per_core=20_000
+    )
+    assert result.defended.swaps > 0
+    # Negligible slowdown is the headline claim; allow generous noise.
+    assert result.normalized_performance > 0.90
+
+
+def test_quiet_workload_has_no_swaps():
+    result = run_pair(
+        get_workload("povray"), _scaled_rrs, scale=SCALE, records_per_core=4_000
+    )
+    assert result.defended.swaps == 0
+    assert result.normalized_performance > 0.97
+
+
+def test_rrs_run_is_deterministic():
+    a = run_workload(
+        get_workload("gcc"), _scaled_rrs(), scale=SCALE, records_per_core=5_000
+    )
+    b = run_workload(
+        get_workload("gcc"), _scaled_rrs(), scale=SCALE, records_per_core=5_000
+    )
+    assert a.ipc == b.ipc
+    assert a.swaps == b.swaps
+
+
+def test_rrs_no_bit_flips_on_benign_workload():
+    metrics = run_workload(
+        get_workload("hmmer"),
+        _scaled_rrs(),
+        scale=SCALE,
+        records_per_core=10_000,
+        with_faults=True,
+        t_rh=4800.0,
+    )
+    assert metrics.swaps >= 0  # run completed with fault model active
+
+
+def test_graphene_refreshes_on_hot_workload():
+    dram = DRAMConfig().scaled(SCALE)
+    # Scaled epoch: hot rows see ~18 ACTs/window, so the mitigation
+    # threshold must scale below that for refreshes to trigger.
+    graphene = Graphene(
+        t_rh=4800 // SCALE,
+        mitigation_threshold=10,
+        window_activations=dram.acts_per_refresh_window,
+    )
+    metrics = run_workload(
+        get_workload("hmmer"), graphene, scale=SCALE, records_per_core=15_000
+    )
+    assert metrics.victim_refreshes > 0
+
+
+def test_blockhammer_throttles_hot_workload():
+    bh = BlockHammer(
+        BlockHammerConfig(
+            t_rh=4800 // SCALE,
+            blacklist_threshold=512 // SCALE,
+            window_ns=DRAMConfig().scaled(SCALE).refresh_window_ns,
+        )
+    )
+    metrics = run_workload(
+        get_workload("hmmer"), bh, scale=SCALE, records_per_core=15_000
+    )
+    assert metrics.throttle_delay_ns > 0
+
+
+def test_swap_accounting_consistent():
+    rrs = _scaled_rrs()
+    metrics = run_workload(
+        get_workload("hmmer"), rrs, scale=SCALE, records_per_core=15_000
+    )
+    # Controller-observed swap ops == engine-executed ops.
+    engine_ops = sum(e.ops_executed for e in rrs._engines.values())
+    assert metrics.swaps == engine_ops
+    assert metrics.swap_blocked_ns == pytest.approx(
+        sum(e.total_blocked_ns for e in rrs._engines.values())
+    )

@@ -1,0 +1,85 @@
+"""Last-level cache model."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig, LastLevelCache
+
+
+def test_paper_llc_geometry():
+    config = CacheConfig()
+    assert config.capacity_bytes == 8 * 1024 * 1024
+    assert config.ways == 16
+    assert config.sets == 8192
+
+
+def test_cold_miss_then_hit():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=64 * 1024))
+    miss = cache.access(0x1000, is_write=False)
+    assert miss is not None
+    assert cache.access(0x1000, is_write=False) is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=64 * 1024))
+    cache.access(0x1000, is_write=False)
+    assert cache.access(0x1020, is_write=False) is None
+
+
+def test_lru_eviction_order():
+    config = CacheConfig(capacity_bytes=2 * 64, ways=2, line_size_bytes=64)
+    cache = LastLevelCache(config)  # 1 set, 2 ways
+    cache.access(0 * 64, is_write=False)
+    cache.access(1 * 64, is_write=False)
+    cache.access(0 * 64, is_write=False)  # touch 0: 1 becomes LRU
+    cache.access(2 * 64, is_write=False)  # evicts 1
+    assert cache.access(0 * 64, is_write=False) is None  # still resident
+    assert cache.access(1 * 64, is_write=False) is not None  # evicted
+
+
+def test_dirty_eviction_reports_writeback():
+    config = CacheConfig(capacity_bytes=2 * 64, ways=2, line_size_bytes=64)
+    cache = LastLevelCache(config)
+    cache.access(0, is_write=True)
+    cache.access(64, is_write=False)
+    result = cache.access(128, is_write=False)  # evicts dirty line 0
+    assert result is not None
+    _, writeback = result
+    assert writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_working_set_larger_than_llc_thrashes():
+    # The hmmer/bzip2 phenomenon the paper describes: a working set
+    # slightly larger than the LLC keeps missing as it cycles.
+    config = CacheConfig(capacity_bytes=64 * 1024)
+    cache = LastLevelCache(config)
+    lines = (config.capacity_bytes // 64) + 64
+    for _ in range(3):
+        for i in range(lines):
+            cache.access(i * 64, is_write=False)
+    assert cache.stats.miss_rate > 0.9
+
+
+def test_working_set_smaller_than_llc_hits():
+    config = CacheConfig(capacity_bytes=64 * 1024)
+    cache = LastLevelCache(config)
+    lines = (config.capacity_bytes // 64) // 2
+    for _ in range(3):
+        for i in range(lines):
+            cache.access(i * 64, is_write=False)
+    assert cache.stats.hits > 2 * lines - 10
+
+
+def test_resident_lines_bounded_by_capacity():
+    config = CacheConfig(capacity_bytes=16 * 1024)
+    cache = LastLevelCache(config)
+    for i in range(10_000):
+        cache.access(i * 64, is_write=False)
+    assert cache.resident_lines() <= config.sets * config.ways
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=64, ways=16, line_size_bytes=64).sets

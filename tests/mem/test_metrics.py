@@ -1,0 +1,68 @@
+"""SimMetrics aggregation."""
+
+import pytest
+
+from repro.mem.metrics import SimMetrics
+
+
+def test_ipc_geomean_over_cores():
+    metrics = SimMetrics(core_ipcs=[1.0, 4.0])
+    assert metrics.ipc == pytest.approx(2.0)
+
+
+def test_ipc_empty_is_zero():
+    assert SimMetrics().ipc == 0.0
+
+
+def test_normalized_to():
+    base = SimMetrics(core_ipcs=[2.0])
+    fast = SimMetrics(core_ipcs=[1.9])
+    assert fast.normalized_to(base) == pytest.approx(0.95)
+
+
+def test_normalized_to_zero_baseline_raises():
+    with pytest.raises(ValueError):
+        SimMetrics(core_ipcs=[1.0]).normalized_to(SimMetrics())
+
+
+def test_swaps_per_window():
+    metrics = SimMetrics(swaps=100, windows=4)
+    assert metrics.swaps_per_window == 25.0
+
+
+def test_swaps_per_window_without_complete_window():
+    metrics = SimMetrics(swaps=7, windows=0)
+    assert metrics.swaps_per_window == 7.0
+
+
+def test_swap_history_and_flips_from_system(small_dram):
+    """The full-system collector propagates RRS's per-window history
+    and the fault model's flip count."""
+    from repro.core.config import RRSConfig
+    from repro.core.rrs import RandomizedRowSwap
+    from repro.mem.system import SystemConfig, SystemSimulator
+    from repro.workloads.trace import TraceRecord
+
+    def trace(n):
+        for i in range(n):
+            yield TraceRecord(instruction_gap=50, address=i * 64, is_write=False)
+
+    dram = small_dram.scaled(64)
+    rrs = RandomizedRowSwap(
+        RRSConfig(
+            t_rh=60,
+            t_rrs=10,
+            window_activations=1000,
+            rows_per_bank=dram.rows_per_bank,
+            tracker_entries=100,
+            rit_capacity_tuples=200,
+        ),
+        dram,
+    )
+    sim = SystemSimulator(
+        SystemConfig(dram=dram, cores=1, with_faults=True, t_rh=1e12),
+        mitigation=rrs,
+    )
+    metrics = sim.run([trace(2000)], workload="hist")
+    assert metrics.swap_history == rrs.swap_history
+    assert metrics.bit_flips == 0

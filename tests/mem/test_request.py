@@ -1,0 +1,17 @@
+"""Memory request record."""
+
+import pytest
+
+from repro.mem.request import MemoryRequest
+
+
+def test_latency_requires_service():
+    request = MemoryRequest(address=0, is_write=False, core_id=0, arrival_ns=10.0)
+    with pytest.raises(ValueError):
+        _ = request.latency_ns
+
+
+def test_latency_after_service():
+    request = MemoryRequest(address=0, is_write=False, core_id=0, arrival_ns=10.0)
+    request.completion_ns = 70.0
+    assert request.latency_ns == 60.0

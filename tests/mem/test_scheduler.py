@@ -1,0 +1,57 @@
+"""Scheduling policies: FCFS order and FR-FCFS hit-first reordering."""
+
+from repro.dram.address import AddressMapper
+from repro.mem.request import MemoryRequest
+from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler
+
+
+def _request(mapper, address, arrival):
+    request = MemoryRequest(
+        address=address, is_write=False, core_id=0, arrival_ns=arrival
+    )
+    request.decoded = mapper.decode(address)
+    return request
+
+
+def test_fcfs_preserves_arrival_order(small_dram):
+    mapper = AddressMapper(small_dram)
+    scheduler = FCFSScheduler()
+    requests = [_request(mapper, a * 64, a) for a in range(5)]
+    for request in requests:
+        scheduler.enqueue(request)
+    picked = [scheduler.pick({}) for _ in range(5)]
+    assert picked == requests
+    assert scheduler.pick({}) is None
+
+
+def test_frfcfs_prefers_open_row(small_dram):
+    mapper = AddressMapper(small_dram)
+    scheduler = FRFCFSScheduler()
+    miss = _request(mapper, 0, 0.0)  # row 0 of bank 0
+    # Same bank, different row: construct via row stride.
+    row_stride = 64 * small_dram.lines_per_row * small_dram.banks_per_rank
+    hit = _request(mapper, row_stride, 1.0)  # row 1 of bank 0
+    scheduler.enqueue(miss)
+    scheduler.enqueue(hit)
+    open_rows = {hit.decoded.bank_key: hit.decoded.row}
+    assert scheduler.pick(open_rows) is hit
+    assert scheduler.pick(open_rows) is miss
+
+
+def test_frfcfs_falls_back_to_oldest(small_dram):
+    mapper = AddressMapper(small_dram)
+    scheduler = FRFCFSScheduler()
+    first = _request(mapper, 0, 0.0)
+    second = _request(mapper, 64, 1.0)
+    scheduler.enqueue(first)
+    scheduler.enqueue(second)
+    assert scheduler.pick({}) is first
+
+
+def test_len_tracks_queue(small_dram):
+    scheduler = FCFSScheduler()
+    assert len(scheduler) == 0
+    scheduler.enqueue(
+        _request(AddressMapper(small_dram), 0, 0.0)
+    )
+    assert len(scheduler) == 1

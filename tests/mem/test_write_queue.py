@@ -1,0 +1,105 @@
+"""Buffered write queue (USIMM-style burst drains)."""
+
+import pytest
+
+from repro.dram.device import Channel
+from repro.mem.controller import MemoryController
+from repro.mem.request import MemoryRequest
+from repro.mitigations.none import NoMitigation
+
+
+def _controller(config, capacity=8, low=2):
+    channel = Channel(config)
+    return MemoryController(
+        config,
+        channel,
+        NoMitigation(),
+        write_queue_capacity=capacity,
+        write_drain_low=low,
+    )
+
+
+def _write(address, arrival=0.0):
+    return MemoryRequest(address=address, is_write=True, core_id=0, arrival_ns=arrival)
+
+
+def _read(address, arrival=0.0):
+    return MemoryRequest(address=address, is_write=False, core_id=0, arrival_ns=arrival)
+
+
+def test_buffered_writes_complete_instantly(small_dram):
+    controller = _controller(small_dram)
+    completion = controller.service(_write(0, arrival=5.0))
+    assert completion == 5.0
+    assert controller.pending_writes == 1
+    assert controller.stats.activations == 0  # no DRAM work yet
+
+
+def test_drain_at_high_watermark(small_dram):
+    controller = _controller(small_dram, capacity=4, low=1)
+    row_stride = 64 * small_dram.lines_per_row * small_dram.banks_per_rank
+    for i in range(4):
+        controller.service(_write(i * row_stride, arrival=float(i)))
+    # The fourth write triggered a drain down to the low watermark.
+    assert controller.pending_writes == 1
+    assert controller.stats.activations == 3
+
+
+def test_drained_writes_touch_banks(small_dram):
+    controller = _controller(small_dram, capacity=2, low=0)
+    controller.service(_write(0, arrival=0.0))
+    controller.service(_write(0, arrival=1.0))  # same line: hit on drain
+    assert controller.stats.activations == 1
+    assert controller.stats.row_buffer_hits == 1
+
+
+def test_reads_unaffected_by_queue(small_dram):
+    controller = _controller(small_dram)
+    completion = controller.service(_read(0))
+    assert completion > 0
+    assert controller.stats.reads == 1
+    assert controller.pending_writes == 0
+
+
+def test_mitigation_observes_drained_write_activations(small_dram):
+    from repro.mitigations.base import Mitigation, MitigationOutcome
+
+    class Recorder(Mitigation):
+        name = "recorder"
+
+        def __init__(self):
+            self.seen = []
+
+        def on_activation(self, bank_key, row, physical_row, now_ns):
+            self.seen.append(physical_row)
+            return MitigationOutcome()
+
+    channel = Channel(small_dram)
+    recorder = Recorder()
+    controller = MemoryController(
+        small_dram, channel, recorder, write_queue_capacity=2, write_drain_low=0
+    )
+    row_stride = 64 * small_dram.lines_per_row * small_dram.banks_per_rank
+    controller.service(_write(0, arrival=0.0))
+    controller.service(_write(row_stride, arrival=1.0))
+    assert len(recorder.seen) == 2
+
+
+def test_inline_mode_is_default(small_dram):
+    channel = Channel(small_dram)
+    controller = MemoryController(small_dram, channel, NoMitigation())
+    controller.service(_write(0))
+    assert controller.stats.activations == 1  # serviced immediately
+
+
+def test_parameter_validation(small_dram):
+    channel = Channel(small_dram)
+    with pytest.raises(ValueError):
+        MemoryController(
+            small_dram, channel, NoMitigation(),
+            write_queue_capacity=4, write_drain_low=4,
+        )
+    with pytest.raises(ValueError):
+        MemoryController(
+            small_dram, channel, NoMitigation(), write_queue_capacity=-1
+        )

@@ -1,0 +1,51 @@
+"""PARA: probabilistic neighbour refresh."""
+
+import pytest
+
+from repro.mitigations.para import PARA
+
+BANK = (0, 0, 0)
+
+
+def test_refresh_rate_matches_probability():
+    para = PARA(probability=0.1, seed=1)
+    triggered = sum(
+        1
+        for _ in range(5000)
+        if not para.on_activation(BANK, 100, 100, 0.0).is_noop
+    )
+    assert triggered == pytest.approx(500, rel=0.2)
+
+
+def test_refreshes_target_immediate_neighbours():
+    para = PARA(probability=1.0)
+    outcome = para.on_activation(BANK, 100, 100, 0.0)
+    assert outcome.refresh_rows == [99, 101]
+
+
+def test_blast_radius_two():
+    para = PARA(probability=1.0, blast_radius=2)
+    outcome = para.on_activation(BANK, 100, 100, 0.0)
+    assert set(outcome.refresh_rows) == {98, 99, 101, 102}
+
+
+def test_edge_rows_clamped():
+    para = PARA(probability=1.0)
+    outcome = para.on_activation(BANK, 0, 0, 0.0)
+    assert outcome.refresh_rows == [1]
+
+
+def test_for_threshold_derivation():
+    para = PARA.for_threshold(4800, failure_probability=1e-15)
+    # (1-p)^4800 <= 1e-15.
+    assert (1 - para.probability) ** 4800 <= 1.001e-15
+    assert para.probability < 0.05
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PARA(probability=0.0)
+    with pytest.raises(ValueError):
+        PARA(blast_radius=0)
+    with pytest.raises(ValueError):
+        PARA.for_threshold(0)

@@ -1,0 +1,98 @@
+"""TWiCe, TRR, and the idealized victim-refresh baselines."""
+
+from repro.mitigations.ideal_vfm import IdealVictimRefresh
+from repro.mitigations.trr import TargetedRowRefresh
+from repro.mitigations.twice import TWiCe
+
+BANK = (0, 0, 0)
+
+
+class TestIdealVFM:
+    def test_exact_counting_refreshes_on_multiples(self):
+        vfm = IdealVictimRefresh(t_rh=4800, mitigation_threshold=10)
+        hits = [
+            i
+            for i in range(1, 31)
+            if not vfm.on_activation(BANK, 5, 5, 0.0).is_noop
+        ]
+        assert hits == [10, 20, 30]
+
+    def test_window_reset(self):
+        vfm = IdealVictimRefresh(mitigation_threshold=10)
+        for _ in range(9):
+            vfm.on_activation(BANK, 5, 5, 0.0)
+        vfm.on_window_end(0)
+        assert vfm.on_activation(BANK, 5, 5, 0.0).is_noop
+
+    def test_default_threshold(self):
+        assert IdealVictimRefresh(t_rh=4800).threshold == 2400
+
+
+class TestTWiCe:
+    def test_counts_and_refreshes(self):
+        twice = TWiCe(t_rh=100, mitigation_threshold=10, rows_per_bank=1024)
+        outcomes = [twice.on_activation(BANK, 7, 7, 0.0) for _ in range(10)]
+        assert not outcomes[-1].is_noop
+        assert outcomes[-1].refresh_rows == [6, 8]
+
+    def test_pruning_drops_slow_rows(self):
+        twice = TWiCe(
+            t_rh=100,
+            mitigation_threshold=64,
+            window_ns=1_000_000,
+            t_refi_ns=10_000,
+            rows_per_bank=1024,
+        )
+        # One touch early, then advance time past many prune intervals.
+        twice.on_activation(BANK, 7, 7, 0.0)
+        twice.on_activation(BANK, 8, 8, 500_000.0)
+        assert twice.pruned >= 1
+        assert 7 not in twice._counts[BANK]
+
+    def test_hot_rows_survive_pruning(self):
+        twice = TWiCe(
+            t_rh=100,
+            mitigation_threshold=64,
+            window_ns=1_000_000,
+            t_refi_ns=100_000,
+            rows_per_bank=1024,
+        )
+        for i in range(64):
+            twice.on_activation(BANK, 7, 7, i * 15_000.0)
+        assert 7 in twice._counts[BANK]
+
+    def test_window_reset(self):
+        twice = TWiCe(mitigation_threshold=10)
+        twice.on_activation(BANK, 7, 7, 0.0)
+        twice.on_window_end(0)
+        assert not twice._counts
+
+
+class TestTRR:
+    def test_refreshes_hottest_sample_each_trefi(self):
+        trr = TargetedRowRefresh(t_refi_ns=1000, rows_per_bank=1024)
+        # Hammer row 50 within the first tREFI.
+        for i in range(10):
+            outcome = trr.on_activation(BANK, 50, 50, i * 50.0)
+            assert outcome.is_noop
+        # First activation past the tREFI boundary triggers the refresh.
+        outcome = trr.on_activation(BANK, 50, 50, 1_500.0)
+        assert outcome.refresh_rows == [49, 51]
+
+    def test_refresh_rate_tracks_trefi(self):
+        trr = TargetedRowRefresh(t_refi_ns=1000, rows_per_bank=1024)
+        refreshes = 0
+        for i in range(1000):
+            outcome = trr.on_activation(BANK, 50, 50, i * 45.0)
+            if outcome.refresh_rows:
+                refreshes += 1
+        # 45us of hammering with a 1us TRR interval: ~45 refreshes.
+        assert 35 <= refreshes <= 50
+
+    def test_sample_picks_the_hottest(self):
+        trr = TargetedRowRefresh(t_refi_ns=10_000, rows_per_bank=1024)
+        for i in range(20):
+            trr.on_activation(BANK, 50, 50, i * 45.0)
+        trr.on_activation(BANK, 60, 60, 950.0)
+        outcome = trr.on_activation(BANK, 50, 50, 11_000.0)
+        assert outcome.refresh_rows == [49, 51]

@@ -1,0 +1,69 @@
+"""Property-based tests of the Collision Avoidance Table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.track.cat import CATConfig, CATConflictError, CollisionAvoidanceTable
+
+keys = st.integers(min_value=0, max_value=10_000)
+
+
+@given(
+    items=st.dictionaries(keys, st.integers(), min_size=0, max_size=150),
+    seed=st.integers(0, 7),
+)
+@settings(max_examples=100, deadline=None)
+def test_cat_behaves_like_a_dict(items, seed):
+    """With ample over-provisioning, the CAT is observationally a dict."""
+    cat = CollisionAvoidanceTable(
+        CATConfig(sets=32, demand_ways=4, extra_ways=6), seed=seed
+    )
+    for key, value in items.items():
+        cat.insert(key, value)
+    assert len(cat) == len(items)
+    for key, value in items.items():
+        assert cat.lookup(key) == value
+    assert dict(cat.items()) == items
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "remove"]), keys), max_size=200
+    ),
+    seed=st.integers(0, 7),
+)
+@settings(max_examples=100, deadline=None)
+def test_cat_insert_remove_sequences(operations, seed):
+    cat = CollisionAvoidanceTable(
+        CATConfig(sets=32, demand_ways=4, extra_ways=6), seed=seed
+    )
+    shadow = {}
+    for op, key in operations:
+        if op == "insert":
+            try:
+                cat.insert(key, key)
+            except CATConflictError:
+                continue
+            shadow[key] = key
+        else:
+            if key in shadow:
+                assert cat.remove(key) == key
+                del shadow[key]
+            else:
+                assert cat.lookup(key) is None
+    assert dict(cat.items()) == shadow
+
+
+@given(
+    count=st.integers(min_value=1, max_value=256),
+    seed=st.integers(0, 7),
+)
+@settings(max_examples=60, deadline=None)
+def test_cat_fits_demand_capacity(count, seed):
+    """Installs up to target capacity never conflict with 6 extra ways."""
+    config = CATConfig(sets=16, demand_ways=8, extra_ways=6)
+    cat = CollisionAvoidanceTable(config, seed=seed)
+    for key in range(min(count, config.target_capacity)):
+        cat.insert(key, None)  # must not raise
+    loads = cat.set_loads()
+    assert max(loads) <= config.ways

@@ -1,0 +1,85 @@
+"""Property-based tests of the disturbance fault model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.faults import DisturbanceModel
+
+ROWS = 128
+rows_strategy = st.integers(min_value=0, max_value=ROWS - 1)
+streams = st.lists(rows_strategy, min_size=1, max_size=300)
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_no_flip_without_enough_neighbour_activations(stream):
+    """A row can only flip if its neighbours' combined activations
+    reach T_RH — the paper's single assumption (Section 5.1)."""
+    t_rh = 50.0
+    model = DisturbanceModel(rows=ROWS, t_rh=t_rh, distance2_coupling=0.016)
+    counts = [0] * ROWS
+    for row in stream:
+        model.on_activate(row)
+        counts[row] += 1
+    for flip in model.flips:
+        neighbours = 0
+        for offset, weight in ((-1, 1.0), (1, 1.0), (-2, 0.016), (2, 0.016)):
+            index = flip.row + offset
+            if 0 <= index < ROWS:
+                neighbours += counts[index] * weight
+        assert neighbours >= t_rh
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_disturbance_bounded_by_neighbour_activity(stream):
+    """Accumulated disturbance never exceeds what the neighbours did."""
+    model = DisturbanceModel(rows=ROWS, t_rh=1e9, distance2_coupling=0.016)
+    counts = [0] * ROWS
+    for row in stream:
+        model.on_activate(row)
+        counts[row] += 1
+    for row in range(ROWS):
+        ceiling = 0.0
+        for offset, weight in ((-1, 1.0), (1, 1.0), (-2, 0.016), (2, 0.016)):
+            index = row + offset
+            if 0 <= index < ROWS:
+                ceiling += counts[index] * weight
+        assert model.disturbance_of(row) <= ceiling + 1e-9
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_own_activation_resets_disturbance(stream):
+    """After a row's own ACT its accumulated disturbance is gone
+    (activation restores the cells)."""
+    model = DisturbanceModel(rows=ROWS, t_rh=1e9)
+    for row in stream:
+        model.on_activate(row)
+    final = stream[-1]
+    assert model.disturbance_of(final) == 0.0
+
+
+@given(stream=streams, refresh_rows=st.lists(rows_strategy, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_window_end_erases_everything(stream, refresh_rows):
+    model = DisturbanceModel(rows=ROWS, t_rh=1e9)
+    for row in stream:
+        model.on_activate(row)
+    for row in refresh_rows:
+        model.on_refresh_row(row)
+    model.end_window()
+    assert all(model.disturbance_of(r) == 0.0 for r in range(ROWS))
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_refresh_all_equivalent_to_refreshing_each_row(stream):
+    """The footnote-2 preemptive refresh restores every row at once."""
+    model = DisturbanceModel(rows=ROWS, t_rh=1e9)
+    for row in stream:
+        model.on_activate(row)
+    model.refresh_all()
+    assert all(model.disturbance_of(r) == 0.0 for r in range(ROWS))
+    # Unlike end_window, window bookkeeping is unchanged.
+    assert model.window == 0

@@ -1,0 +1,93 @@
+"""Property-based tests of the assembled RRS mitigation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+
+ROWS = 512
+BANK = (0, 0, 0)
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("act"), st.integers(0, ROWS - 1)),
+        st.tuples(st.just("window"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def _rrs():
+    return RandomizedRowSwap(
+        RRSConfig(
+            t_rh=60,
+            t_rrs=10,
+            window_activations=4000,
+            rows_per_bank=ROWS,
+            tracker_entries=64,
+            rit_capacity_tuples=128,
+        ),
+        DRAMConfig(
+            channels=1, banks_per_rank=1, rows_per_bank=ROWS, row_size_bytes=1024
+        ),
+    )
+
+
+def _drive(rrs, stream):
+    for kind, row in stream:
+        if kind == "act":
+            physical = rrs.route(BANK, row)
+            rrs.on_activation(BANK, row, physical, 0.0)
+        else:
+            rrs.on_window_end(0)
+
+
+@given(stream=events)
+@settings(max_examples=80, deadline=None)
+def test_routing_remains_a_permutation_under_any_traffic(stream):
+    """However traffic and epochs interleave, the RIT's view of the
+    bank is a permutation — no two logical rows alias one physical row
+    (that would be silent data corruption)."""
+    rrs = _rrs()
+    _drive(rrs, stream)
+    routed = [rrs.route(BANK, row) for row in range(ROWS)]
+    assert sorted(routed) == list(range(ROWS))
+
+
+@given(stream=events)
+@settings(max_examples=80, deadline=None)
+def test_swap_accounting_consistent(stream):
+    rrs = _rrs()
+    _drive(rrs, stream)
+    engine_ops = sum(e.ops_executed for e in rrs._engines.values())
+    state = rrs.bank_state(BANK)
+    # Every tracked swap corresponds to at least one physical exchange,
+    # and installs/evictions reconcile with the engine's op count.
+    assert engine_ops >= rrs.total_swaps
+    assert engine_ops == state.rit.installs + state.rit.evictions
+
+
+@given(stream=events)
+@settings(max_examples=80, deadline=None)
+def test_swaps_only_fire_near_the_threshold(stream):
+    """A swap implies the row really was activated close to T_RRS times
+    this window: the Misra-Gries estimate overshoots the true count by
+    at most the spill counter, so true count >= T_RRS - spill at the
+    moment of the swap (no arbitrary false positives)."""
+    rrs = _rrs()
+    t_rrs = rrs.config.t_rrs
+    window_counts = {}
+    for kind, row in stream:
+        if kind == "act":
+            physical = rrs.route(BANK, row)
+            outcome = rrs.on_activation(BANK, row, physical, 0.0)
+            window_counts[row] = window_counts.get(row, 0) + 1
+            if outcome.swaps:
+                spill = rrs.bank_state(BANK).tracker.spill
+                assert window_counts[row] >= t_rrs - spill
+        else:
+            rrs.on_window_end(0)
+            window_counts.clear()

@@ -1,0 +1,97 @@
+"""Property-based tests of the Misra-Gries trackers (Invariant 1)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.track.cat import CATConfig
+from repro.track.cat_tracker import CATMisraGriesTracker
+from repro.track.misra_gries import MisraGriesTracker
+
+streams = st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=400)
+entry_counts = st.integers(min_value=1, max_value=12)
+
+
+@given(stream=streams, entries=entry_counts)
+@settings(max_examples=120, deadline=None)
+def test_reference_tracker_never_loses_a_hot_row(stream, entries):
+    """Any row with more activations than the spill counter is tracked
+    with an estimate at least its true count — the tracking guarantee
+    RRS's security (Invariant 1) rests on."""
+    tracker = MisraGriesTracker(entries=entries)
+    truth = Counter()
+    for row in stream:
+        truth[row] += 1
+        tracker.observe(row)
+    for row, count in truth.items():
+        if count > tracker.spill:
+            assert row in tracker
+            assert tracker.estimate(row) >= count
+
+
+@given(stream=streams, entries=entry_counts)
+@settings(max_examples=120, deadline=None)
+def test_reference_tracker_overcount_bounded(stream, entries):
+    """Estimates exceed truth by at most the spill counter."""
+    tracker = MisraGriesTracker(entries=entries)
+    truth = Counter()
+    for row in stream:
+        truth[row] += 1
+        tracker.observe(row)
+    for row in tracker.tracked_rows():
+        assert tracker.estimate(row) <= truth[row] + tracker.spill
+
+
+@given(stream=streams, entries=entry_counts)
+@settings(max_examples=120, deadline=None)
+def test_reference_tracker_spill_bound(stream, entries):
+    """spill <= total/(entries+1): the Misra-Gries frequency bound."""
+    tracker = MisraGriesTracker(entries=entries)
+    for row in stream:
+        tracker.observe(row)
+    assert tracker.spill <= len(stream) // (entries + 1) + 1
+
+
+@given(stream=streams, entries=entry_counts)
+@settings(max_examples=120, deadline=None)
+def test_tracker_size_never_exceeds_entries(stream, entries):
+    tracker = MisraGriesTracker(entries=entries)
+    for row in stream:
+        tracker.observe(row)
+        assert len(tracker) <= entries
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_cat_tracker_matches_reference_spill_and_size(stream):
+    """The CAT-backed tracker implements the same algorithm: identical
+    spill counter and occupancy for any stream (tie-breaking of evicted
+    minimum entries may differ; the bound properties may not)."""
+    entries = 6
+    reference = MisraGriesTracker(entries=entries)
+    cat = CATMisraGriesTracker(
+        entries=entries, cat_config=CATConfig(sets=4, demand_ways=2, extra_ways=6)
+    )
+    for row in stream:
+        reference.observe(row)
+        cat.observe(row)
+    assert cat.spill == reference.spill
+    assert len(cat) == len(reference)
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_cat_tracker_never_loses_a_hot_row(stream):
+    entries = 6
+    tracker = CATMisraGriesTracker(
+        entries=entries, cat_config=CATConfig(sets=4, demand_ways=2, extra_ways=6)
+    )
+    truth = Counter()
+    for row in stream:
+        truth[row] += 1
+        tracker.observe(row)
+    for row, count in truth.items():
+        if count > tracker.spill:
+            assert row in tracker
+            assert tracker.estimate(row) >= count

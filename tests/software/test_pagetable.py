@@ -1,0 +1,102 @@
+"""Page-table model: encoding, flips, and escalation scenario."""
+
+import pytest
+
+from repro.software.pagetable import PTE, PageTable, decode_pte, encode_pte
+from repro.software.scenario import PageTableAttackScenario
+
+
+class TestPTE:
+    def test_roundtrip(self):
+        pte = PTE(frame=0x12345, present=True, writable=False, user=True)
+        assert decode_pte(encode_pte(pte)) == pte
+
+    def test_flag_bits(self):
+        word = encode_pte(PTE(frame=1, present=True, writable=True, user=False))
+        assert word & 1  # present
+        assert word & 2  # writable
+        assert not word & 4  # supervisor-only
+
+    def test_frame_field_position(self):
+        word = encode_pte(PTE(frame=0x1, present=False, writable=False, user=False))
+        assert word == 1 << 12
+
+    def test_frame_range_checked(self):
+        with pytest.raises(ValueError):
+            PTE(frame=1 << 40)
+
+
+class TestPageTable:
+    def test_map_and_read(self):
+        table = PageTable("proc", entries=16)
+        table.map_page(3, PTE(frame=77))
+        assert table.entry(3).frame == 77
+        assert table.entry(4) is None
+
+    def test_flip_frame_bit_changes_mapping(self):
+        table = PageTable("proc", entries=16)
+        table.map_page(0, PTE(frame=0b1000))
+        table.flip_bit(0, 12)  # lowest frame bit
+        assert table.entry(0).frame == 0b1001
+
+    def test_flip_present_bit_unmaps(self):
+        table = PageTable("proc", entries=16)
+        table.map_page(0, PTE(frame=5))
+        table.flip_bit(0, 0)
+        assert table.entry(0) is None
+
+    def test_flip_validation(self):
+        table = PageTable("proc", entries=4)
+        with pytest.raises(ValueError):
+            table.flip_bit(0, 64)
+
+    def test_mapped_frames(self):
+        table = PageTable("proc", entries=8)
+        table.map_page(0, PTE(frame=1))
+        table.map_page(5, PTE(frame=9))
+        assert sorted(table.mapped_frames()) == [1, 9]
+
+
+class TestScenario:
+    def test_unprotected_system_escalates(self):
+        scenario = PageTableAttackScenario(seed=1)
+        outcome = scenario.run(max_activations=500_000)
+        assert outcome.flips > 0
+        assert outcome.pte_flips > 0
+
+    def test_rrs_prevents_escalation(self):
+        from repro.core.config import RRSConfig
+        from repro.core.rrs import RandomizedRowSwap
+        from repro.dram.config import DRAMConfig
+
+        dram = DRAMConfig(
+            channels=1, banks_per_rank=1, rows_per_bank=128 * 1024,
+            row_size_bytes=8192,
+        )
+        t_rrs = 480 // 6
+        rrs = RandomizedRowSwap(
+            RRSConfig(
+                t_rh=480,
+                t_rrs=t_rrs,
+                window_activations=1_300_000,
+                rows_per_bank=dram.rows_per_bank,
+                tracker_entries=1_300_000 // t_rrs,
+                rit_capacity_tuples=2 * (1_300_000 // t_rrs),
+            ),
+            dram,
+        )
+        scenario = PageTableAttackScenario(
+            mitigation=rrs, dram=dram, t_rh=480, seed=1
+        )
+        outcome = scenario.run(max_activations=500_000)
+        assert not outcome.escalated
+        assert outcome.flips == 0
+
+    def test_scenario_is_deterministic(self):
+        a = PageTableAttackScenario(seed=7).run(max_activations=100_000)
+        b = PageTableAttackScenario(seed=7).run(max_activations=100_000)
+        assert (a.flips, a.pte_flips, a.escalated) == (
+            b.flips,
+            b.pte_flips,
+            b.escalated,
+        )

@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    for argv in (
+        ["run", "--workload", "bzip2"],
+        ["attack", "--pattern", "half-double"],
+        ["security", "--t-rh", "4800"],
+        ["info"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.func)
+
+
+def test_info_lists_everything(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "bzip2" in out
+    assert "rrs" in out
+    assert "half-double" in out
+
+
+def test_security_prints_table4(capsys):
+    assert main(["security", "--t-rh", "4800", "--k", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "800 (k=6)" in out
+    assert "years" in out
+
+
+def test_attack_rrs_defends(capsys):
+    code = main(
+        ["attack", "--pattern", "half-double", "--defense", "rrs",
+         "--t-rh", "480", "--budget", "200000"]
+    )
+    assert code == 0
+    assert "no flips" in capsys.readouterr().out
+
+
+def test_attack_unprotected_flips(capsys):
+    code = main(
+        ["attack", "--pattern", "single", "--defense", "none",
+         "--t-rh", "480", "--budget", "5000"]
+    )
+    assert code == 0  # 'none' is expected to flip
+    assert "BIT FLIP" in capsys.readouterr().out
+
+
+def test_attack_vfm_loses_to_half_double(capsys):
+    code = main(
+        ["attack", "--pattern", "half-double", "--defense", "ideal-vfm",
+         "--t-rh", "480", "--budget", "400000"]
+    )
+    assert code == 1  # defense failed
+    assert "BIT FLIP" in capsys.readouterr().out
+
+
+def test_run_produces_comparison(capsys):
+    code = main(
+        ["run", "--workload", "gromacs", "--defense", "rrs",
+         "--scale", "64", "--records", "2000"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "normalized" in out
+
+
+def test_unknown_defense_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--defense", "magic"])
+
+
+@pytest.mark.parametrize(
+    "defense", ["graphene", "twice", "trr", "blockhammer", "ideal-vfm"]
+)
+def test_attack_command_supports_every_defense(defense, capsys):
+    code = main(
+        ["attack", "--pattern", "double", "--defense", defense,
+         "--t-rh", "480", "--budget", "30000"]
+    )
+    out = capsys.readouterr().out
+    assert "vs " + defense in out
+    assert code in (0, 1)  # outcome-dependent, but must not crash
+

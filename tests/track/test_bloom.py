@@ -1,0 +1,57 @@
+"""Counting Bloom filter (BlockHammer's tracker)."""
+
+from repro.track.bloom import CountingBloomFilter
+from repro.utils.rng import DeterministicRng
+
+import pytest
+
+
+def test_estimate_never_undercounts():
+    bloom = CountingBloomFilter(counters=64, hashes=3)
+    rng = DeterministicRng(1)
+    truth = {}
+    for _ in range(500):
+        row = rng.randint(0, 200)
+        truth[row] = truth.get(row, 0) + 1
+        bloom.observe(row)
+    for row, count in truth.items():
+        assert bloom.estimate(row) >= count
+
+
+def test_estimate_exact_when_sparse():
+    bloom = CountingBloomFilter(counters=4096, hashes=4)
+    for _ in range(10):
+        bloom.observe(42)
+    assert bloom.estimate(42) == 10
+
+
+def test_collisions_inflate_innocent_rows():
+    """The BlockHammer collateral-damage mechanism: with few counters,
+    cold rows inherit hot rows' counts."""
+    bloom = CountingBloomFilter(counters=8, hashes=2)
+    for _ in range(1000):
+        bloom.observe(1)
+    inflated = [row for row in range(2, 100) if bloom.estimate(row) > 0]
+    assert inflated  # someone shares a counter with the hot row
+
+
+def test_reset():
+    bloom = CountingBloomFilter(counters=32, hashes=2)
+    bloom.observe(5)
+    bloom.reset()
+    assert bloom.estimate(5) == 0
+    assert bloom.total == 0
+
+
+def test_total_counts_hashes_times_observations():
+    bloom = CountingBloomFilter(counters=1024, hashes=4)
+    for _ in range(7):
+        bloom.observe(3)
+    assert bloom.total == 7 * 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CountingBloomFilter(counters=0)
+    with pytest.raises(ValueError):
+        CountingBloomFilter(hashes=0)

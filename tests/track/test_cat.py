@@ -1,0 +1,117 @@
+"""Collision Avoidance Table: lookups, load balancing, conflicts."""
+
+import pytest
+
+from repro.track.cat import CATConfig, CATConflictError, CollisionAvoidanceTable
+
+
+def test_paper_geometries():
+    tracker_cat = CATConfig(sets=64, demand_ways=14, extra_ways=6)
+    assert tracker_cat.ways == 20
+    assert tracker_cat.target_capacity == 1792  # >= 1700 entries
+    rit_cat = CATConfig(sets=256, demand_ways=14, extra_ways=6)
+    assert rit_cat.target_capacity == 7168  # >= 6800 entries
+
+
+def test_insert_lookup_remove():
+    cat = CollisionAvoidanceTable(CATConfig(sets=8, demand_ways=2, extra_ways=2))
+    cat.insert(10, "a")
+    cat.insert(20, "b")
+    assert cat.lookup(10) == "a"
+    assert cat.lookup(99) is None
+    assert 10 in cat and 99 not in cat
+    assert cat.remove(10) == "a"
+    assert 10 not in cat
+    assert len(cat) == 1
+
+
+def test_update_in_place():
+    cat = CollisionAvoidanceTable(CATConfig(sets=8, demand_ways=2, extra_ways=2))
+    cat.insert(5, 1)
+    cat.update(5, 2)
+    assert cat.lookup(5) == 2
+    with pytest.raises(KeyError):
+        cat.update(6, 0)
+
+
+def test_insert_existing_key_overwrites():
+    cat = CollisionAvoidanceTable(CATConfig(sets=8, demand_ways=2, extra_ways=2))
+    cat.insert(5, 1)
+    cat.insert(5, 2)
+    assert cat.lookup(5) == 2
+    assert len(cat) == 1
+
+
+def test_remove_missing_raises():
+    cat = CollisionAvoidanceTable(CATConfig(sets=4, demand_ways=2, extra_ways=1))
+    with pytest.raises(KeyError):
+        cat.remove(1)
+
+
+def test_holds_target_capacity_without_conflict():
+    """The headline property: C items always fit with 6 extra ways."""
+    config = CATConfig(sets=64, demand_ways=14, extra_ways=6)
+    cat = CollisionAvoidanceTable(config, seed=1)
+    for key in range(config.target_capacity):
+        cat.insert(key, key)
+    assert len(cat) == config.target_capacity
+    for key in range(0, config.target_capacity, 97):
+        assert cat.lookup(key) == key
+
+
+def test_load_balancing_keeps_sets_even():
+    config = CATConfig(sets=64, demand_ways=14, extra_ways=6)
+    cat = CollisionAvoidanceTable(config, seed=2)
+    for key in range(config.target_capacity):
+        cat.insert(key, None)
+    loads = cat.set_loads()
+    assert max(loads) <= config.ways
+    # Power-of-two-choices: loads hug the mean (14) tightly.
+    assert max(loads) - min(loads) <= 10
+
+
+def test_zero_extra_ways_conflicts_quickly():
+    config = CATConfig(sets=4, demand_ways=1, extra_ways=0)
+    cat = CollisionAvoidanceTable(config, seed=0)
+    with pytest.raises(CATConflictError):
+        for key in range(1000):
+            cat.insert(key, None)
+
+
+def test_cuckoo_relocation_rescues_some_conflicts():
+    config = CATConfig(sets=4, demand_ways=2, extra_ways=1)
+    cat = CollisionAvoidanceTable(config, seed=3)
+    installed = 0
+    try:
+        for key in range(config.target_capacity):
+            cat.insert(key, None)
+            installed += 1
+    except CATConflictError:
+        pass
+    # Either everything fit, or relocations were attempted on the way.
+    assert installed == config.target_capacity or cat.relocations >= 0
+
+
+def test_items_enumerates_everything():
+    cat = CollisionAvoidanceTable(CATConfig(sets=8, demand_ways=2, extra_ways=2))
+    for key in range(20):
+        cat.insert(key, key * 2)
+    assert dict(cat.items()) == {k: 2 * k for k in range(20)}
+
+
+def test_would_conflict_probe():
+    # With one set per table and one way, two inserts fill both tables.
+    config = CATConfig(sets=1, demand_ways=1, extra_ways=0)
+    cat = CollisionAvoidanceTable(config)
+    assert not cat.would_conflict(1)
+    cat.insert(1, None)
+    assert not cat.would_conflict(2)  # second table still has room
+    cat.insert(2, None)
+    assert cat.would_conflict(3)
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        CATConfig(sets=0)
+    with pytest.raises(ValueError):
+        CATConfig(tables=3)

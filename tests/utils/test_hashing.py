@@ -1,0 +1,34 @@
+"""Keyed hashing primitives."""
+
+from repro.utils.hashing import keyed_hash, splitmix64
+
+
+def test_splitmix64_is_deterministic_64bit():
+    a = splitmix64(12345)
+    assert a == splitmix64(12345)
+    assert 0 <= a < 2**64
+
+
+def test_splitmix64_avalanche():
+    # Flipping one input bit changes roughly half the output bits.
+    a = splitmix64(0)
+    b = splitmix64(1)
+    differing = bin(a ^ b).count("1")
+    assert 16 <= differing <= 48
+
+
+def test_keyed_hash_key_separation():
+    values = list(range(256))
+    h1 = [keyed_hash(v, 1) % 64 for v in values]
+    h2 = [keyed_hash(v, 2) % 64 for v in values]
+    # Different keys produce (essentially) uncorrelated set indices.
+    matches = sum(1 for a, b in zip(h1, h2) if a == b)
+    assert matches < 16  # ~4 expected by chance over 256 draws
+
+
+def test_keyed_hash_spreads_uniformly():
+    buckets = [0] * 64
+    for v in range(64 * 100):
+        buckets[keyed_hash(v, 7) % 64] += 1
+    assert min(buckets) > 50
+    assert max(buckets) < 200

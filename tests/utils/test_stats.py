@@ -1,0 +1,51 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import geomean, mean, normalized, percentile
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == 2.0
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_geomean_basic():
+    assert math.isclose(geomean([1, 4]), 2.0)
+    assert math.isclose(geomean([2, 2, 2]), 2.0)
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_geomean_below_arithmetic_mean():
+    values = [0.5, 1.0, 2.0, 4.0]
+    assert geomean(values) < mean(values)
+
+
+def test_normalized():
+    assert normalized([2.0, 3.0], [4.0, 3.0]) == [0.5, 1.0]
+    with pytest.raises(ValueError):
+        normalized([1.0], [1.0, 2.0])
+
+
+def test_percentile_endpoints_and_interp():
+    values = [10, 20, 30, 40]
+    assert percentile(values, 0) == 10
+    assert percentile(values, 100) == 40
+    assert percentile(values, 50) == 25.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)

@@ -1,0 +1,58 @@
+"""Units and formatting helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    bits_to_bytes,
+    format_bytes,
+    format_seconds,
+    format_time_ns,
+)
+
+
+def test_size_constants_are_powers_of_1024():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_bits_to_bytes():
+    assert bits_to_bytes(8) == 1.0
+    assert bits_to_bytes(28) == 3.5
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (512, "512B"),
+        (35 * KB, "35.0KB"),
+        (1.5 * MB, "1.5MB"),
+        (2 * GB, "2.0GB"),
+    ],
+)
+def test_format_bytes(value, expected):
+    assert format_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "ns, expected",
+    [
+        (45, "45ns"),
+        (1460, "1.46us"),
+        (64_000_000, "64.00ms"),
+        (2_000_000_000, "2.00s"),
+    ],
+)
+def test_format_time_ns(ns, expected):
+    assert format_time_ns(ns) == expected
+
+
+def test_format_seconds_matches_paper_units():
+    # Table 4 reports 6.9 days and 3.8 years.
+    assert "days" in format_seconds(6.9 * 86400)
+    assert "years" in format_seconds(3.8 * 365.25 * 86400)
+    assert "minutes" in format_seconds(120)
+    assert "seconds" in format_seconds(3)

@@ -1,0 +1,59 @@
+"""Cache filtering of raw access streams."""
+
+from repro.mem.cache import CacheConfig, LastLevelCache
+from repro.workloads.cachefilter import RawAccess, filter_through_llc
+
+
+def _small_cache():
+    return LastLevelCache(CacheConfig(capacity_bytes=4 * 1024, ways=2))
+
+
+def test_hits_are_filtered_out():
+    accesses = [RawAccess(10, 0x1000, False)] * 5
+    trace = list(filter_through_llc(iter(accesses), _small_cache()))
+    assert len(trace) == 1  # one cold miss, four hits
+
+
+def test_hit_gaps_accumulate_into_next_miss():
+    accesses = [
+        RawAccess(10, 0x1000, False),  # miss
+        RawAccess(10, 0x1000, False),  # hit
+        RawAccess(10, 0x1000, False),  # hit
+        RawAccess(10, 0x2000, False),  # miss
+    ]
+    trace = list(filter_through_llc(iter(accesses), _small_cache()))
+    assert len(trace) == 2
+    # The second miss carries its own gap plus the two hits' gaps and
+    # their instructions.
+    assert trace[1].instruction_gap == 10 + (10 + 1) + (10 + 1)
+
+
+def test_dirty_eviction_emits_writeback():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=2 * 64, ways=2))
+    accesses = [
+        RawAccess(1, 0 * 64, True),  # dirty line 0
+        RawAccess(1, 1 * 64, False),
+        RawAccess(1, 2 * 64, False),  # evicts dirty line 0
+    ]
+    trace = list(filter_through_llc(iter(accesses), cache))
+    writes = [r for r in trace if r.is_write]
+    assert len(writes) == 1
+    assert writes[0].instruction_gap == 0
+
+
+def test_thrashing_stream_passes_through():
+    """hmmer-style: working set > LLC -> nearly every access misses."""
+    cache = LastLevelCache(CacheConfig(capacity_bytes=4 * 1024, ways=2))
+    lines = 2 * (4 * 1024 // 64)
+    accesses = [
+        RawAccess(5, (i % lines) * 64, False) for i in range(4 * lines)
+    ]
+    trace = list(filter_through_llc(iter(accesses), cache))
+    assert len(trace) > 3 * lines  # almost nothing hits
+
+
+def test_resident_stream_is_quiet():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=64 * 1024, ways=16))
+    accesses = [RawAccess(5, (i % 16) * 64, False) for i in range(1000)]
+    trace = list(filter_through_llc(iter(accesses), cache))
+    assert len(trace) == 16  # only the cold misses

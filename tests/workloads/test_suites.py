@@ -1,0 +1,68 @@
+"""Workload suite table: Table 3 fidelity and population structure."""
+
+import pytest
+
+from repro.workloads.suites import (
+    ALL_WORKLOADS,
+    WORKLOAD_TABLE,
+    get_workload,
+    workloads_by_suite,
+)
+
+
+def test_paper_population_is_78_workloads():
+    assert len(ALL_WORKLOADS) == 78
+
+
+def test_table3_has_28_rows():
+    assert len(WORKLOAD_TABLE) == 28
+
+
+def test_table3_values_verbatim():
+    hmmer = get_workload("hmmer")
+    assert (hmmer.footprint_gb, hmmer.mpki, hmmer.act800_rows) == (0.01, 0.84, 1675)
+    mcf = get_workload("mcf")
+    assert (mcf.footprint_gb, mcf.mpki, mcf.act800_rows) == (7.71, 107.81, 2)
+    comm3 = get_workload("comm3")
+    assert comm3.act800_rows == 1
+
+
+def test_table3_sorted_by_hotness():
+    rows = [w.act800_rows for w in WORKLOAD_TABLE]
+    assert rows == sorted(rows, reverse=True)
+
+
+def test_quiet_workloads_have_low_hotness():
+    quiet = [w for w in ALL_WORKLOADS if w not in WORKLOAD_TABLE and not w.is_mix]
+    assert len(quiet) == 44
+    assert all(w.act800_rows <= 3 for w in quiet)
+
+
+def test_six_mixes_with_eight_components():
+    mixes = [w for w in ALL_WORKLOADS if w.is_mix]
+    assert len(mixes) == 6
+    for mix in mixes:
+        assert len(mix.components) == 8
+        for component in mix.components:
+            assert not get_workload(component).is_mix
+
+
+def test_suite_lookup():
+    spec2006 = workloads_by_suite("SPEC2006")
+    assert get_workload("hmmer") in spec2006
+    with pytest.raises(KeyError):
+        workloads_by_suite("SPEC2099")
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_workload("nope")
+
+
+def test_names_unique():
+    names = [w.name for w in ALL_WORKLOADS]
+    assert len(names) == len(set(names))
+
+
+def test_table3_workloads_have_measured_ipc_hints():
+    assert all(w.ipc_hint > 0 for w in WORKLOAD_TABLE)

@@ -1,0 +1,117 @@
+"""Synthetic workload generators: calibration properties."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMConfig
+from repro.utils.rng import DeterministicRng
+from repro.workloads.suites import get_workload
+from repro.workloads.synthetic import (
+    ActivationProfile,
+    HOT_ACTS_HIGH,
+    HOT_ACTS_LOW,
+    SyntheticTraceGenerator,
+    estimated_ipc,
+    workload_ipc,
+)
+
+
+def test_estimated_ipc_monotone_in_mpki():
+    assert estimated_ipc(0.1) > estimated_ipc(5) > estimated_ipc(100)
+    assert 0.15 <= estimated_ipc(1000) <= 4.0
+
+
+def test_workload_ipc_prefers_hint():
+    bzip2 = get_workload("bzip2")
+    assert workload_ipc(bzip2) == bzip2.ipc_hint
+
+
+def test_profile_hot_rows_match_table3():
+    config = DRAMConfig()
+    profile = ActivationProfile.from_spec(get_workload("hmmer"), config)
+    expected = round(1675 / config.banks_total)
+    assert profile.hot_rows_per_bank == expected
+
+
+def test_profile_stream_reproduces_hot_counts():
+    profile = ActivationProfile.from_spec(get_workload("bzip2"))
+    rng = DeterministicRng(0, "test")
+    stream = profile.bank_stream(rng)
+    counts = np.bincount(stream, minlength=128 * 1024)
+    hot = np.sort(counts[counts >= 800])
+    # The calibrated range: each hot row draws from [820, 1500).
+    assert len(hot) == pytest.approx(profile.hot_rows_per_bank, abs=3)
+    assert hot.min() >= HOT_ACTS_LOW
+    assert hot.max() < HOT_ACTS_HIGH
+
+
+def test_profile_stream_scales():
+    profile = ActivationProfile.from_spec(get_workload("bzip2"))
+    rng = DeterministicRng(0, "test")
+    full = profile.bank_stream(rng.child("a"))
+    scaled = profile.bank_stream(rng.child("b"), scale=8)
+    assert len(scaled) == pytest.approx(len(full) / 8, rel=0.2)
+
+
+def test_profile_respects_act_ceiling():
+    profile = ActivationProfile.from_spec(get_workload("mcf"))
+    config = DRAMConfig()
+    total = profile.background_acts_per_bank + profile.hot_rows_per_bank * 1200
+    assert total <= config.acts_per_refresh_window
+
+
+def test_generator_is_deterministic():
+    spec = get_workload("gcc")
+    a = list(SyntheticTraceGenerator(spec, core_id=0, seed=1).records(200))
+    b = list(SyntheticTraceGenerator(spec, core_id=0, seed=1).records(200))
+    assert a == b
+
+
+def test_generator_seed_changes_stream():
+    spec = get_workload("gcc")
+    a = list(SyntheticTraceGenerator(spec, core_id=0, seed=1).records(200))
+    b = list(SyntheticTraceGenerator(spec, core_id=0, seed=2).records(200))
+    assert a != b
+
+
+def test_generator_gap_matches_mpki():
+    spec = get_workload("sphinx")  # mpki 12.9 -> mean gap ~77
+    records = list(SyntheticTraceGenerator(spec, core_id=0).records(5000))
+    mean_gap = np.mean([r.instruction_gap for r in records])
+    assert mean_gap == pytest.approx(1000.0 / spec.mpki, rel=0.15)
+
+
+def test_generator_addresses_within_memory():
+    spec = get_workload("mcf")
+    config = DRAMConfig()
+    mapper = AddressMapper(config)
+    for record in SyntheticTraceGenerator(spec, core_id=3, config=config).records(500):
+        decoded = mapper.decode(record.address)  # raises if out of range
+        assert 0 <= decoded.row < config.rows_per_bank
+
+
+def test_hot_rows_split_across_cores():
+    spec = get_workload("bzip2")  # 1150 hot rows over 8 cores
+    sizes = [
+        len(SyntheticTraceGenerator(spec, core_id=c)._hot_addresses)
+        for c in range(8)
+    ]
+    assert sum(sizes) == spec.act800_rows
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_quiet_workload_has_no_hot_rotation():
+    spec = get_workload("povray")
+    generator = SyntheticTraceGenerator(spec, core_id=0)
+    assert generator._hot_addresses == []
+    assert generator._hot_probability == 0.0
+
+
+def test_write_fraction_respected():
+    spec = get_workload("gcc")
+    records = list(
+        SyntheticTraceGenerator(spec, core_id=0, write_fraction=0.3).records(4000)
+    )
+    writes = sum(1 for r in records if r.is_write)
+    assert writes / len(records) == pytest.approx(0.3, abs=0.05)

@@ -1,0 +1,29 @@
+"""Trace record serialization."""
+
+import pytest
+
+from repro.workloads.trace import TraceRecord, read_trace, write_trace
+
+
+def test_roundtrip(tmp_path):
+    records = [
+        TraceRecord(5, 0x1000, False),
+        TraceRecord(0, 0xDEADBEEF, True),
+        TraceRecord(123, 0, False),
+    ]
+    path = tmp_path / "trace.txt"
+    assert write_trace(path, records) == 3
+    assert list(read_trace(path)) == records
+
+
+def test_read_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n5 R 0x40\n")
+    assert list(read_trace(path)) == [TraceRecord(5, 0x40, False)]
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("5 X 0x40\n")
+    with pytest.raises(ValueError):
+        list(read_trace(path))
