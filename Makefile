@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke experiments clean-cache
+
+test:  ## tier-1 suite (unit/integration/property)
+	$(PYTHON) -m pytest -x -q
+
+bench:  ## regenerate every table & figure (slow; honours REPRO_JOBS)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:  ## throughput microbenchmark with a tiny request budget
+	REPRO_BENCH_RECORDS=800 REPRO_CACHE=0 $(PYTHON) -m pytest \
+		benchmarks/bench_throughput.py --benchmark-only -q
+
+experiments:  ## full pipeline with a result index (use JOBS=N to fan out)
+	$(PYTHON) scripts/run_all_experiments.py $(if $(JOBS),--jobs $(JOBS))
+
+clean-cache:  ## drop every cached sweep result
+	$(PYTHON) -c "from repro.exec import ResultCache; print(ResultCache().clear(), 'entries removed')"

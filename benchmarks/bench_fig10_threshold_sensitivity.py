@@ -10,11 +10,9 @@ longer (1/8) epoch while the rest use 1/16 — each threshold's scaled
 T_RRS stays above the background-activation noise floor.
 """
 
-from repro.analysis.perf import records_for_windows, run_pair
+from repro.analysis.perf import records_for_windows
 from repro.analysis.report import render_table
-from repro.core.config import RRSConfig
-from repro.core.rrs import RandomizedRowSwap
-from repro.dram.config import DRAMConfig
+from repro.exec import MitigationSpec, SweepPoint, SweepRunner
 from repro.utils.stats import geomean
 from repro.workloads.suites import get_workload
 
@@ -33,32 +31,49 @@ PAPER_SLOWDOWN = {1200: 4.5, 2400: 2.2, 4800: 0.4, 9600: 0.05, 19200: 0.05}
 
 
 def _measure():
-    results = {}
+    """The full threshold sweep as one SweepRunner batch.
+
+    Every (T_RH, workload, baseline-or-RRS) combination is an
+    independent point, so the whole figure parallelizes under
+    ``REPRO_JOBS`` and memoizes per point.
+    """
+    grid = []  # (t_rh, stratum_index, workload) in deterministic order
+    points = []
     for t_rh, scale in SWEEP:
-        dram = DRAMConfig().scaled(scale)
-
-        def factory(t_rh=t_rh, scale=scale, dram=dram):
-            return RandomizedRowSwap(
-                RRSConfig.for_threshold(t_rh, DRAMConfig()).scaled(scale), dram
-            )
-
-        strata_norms = []
-        hot_norms = []
-        for names, weight in STRATA:
-            norms = []
+        for stratum, (names, _) in enumerate(STRATA):
             for name in names:
                 spec = get_workload(name)
                 records = records_for_windows(spec, scale, max_records=120_000)
-                pair = run_pair(
-                    spec, factory, scale=scale, records_per_core=records
-                )
-                norms.append(pair.normalized_performance)
-            strata_norms.append((geomean(norms), weight))
-            hot_norms.extend(norms)
-        population = geomean(
-            [norm for norm, weight in strata_norms for _ in range(weight)]
-        )
-        results[t_rh] = (geomean(hot_norms[:2]), population)
+                grid.append((t_rh, stratum, name))
+                for mitigation in (
+                    MitigationSpec.none(),
+                    MitigationSpec.rrs(t_rh=t_rh, scale=scale),
+                ):
+                    points.append(
+                        SweepPoint(
+                            workload=name,
+                            mitigation=mitigation,
+                            scale=scale,
+                            records_per_core=records,
+                        )
+                    )
+    metrics = SweepRunner().run(points, label="fig10")
+
+    results = {}
+    for t_rh, _ in SWEEP:
+        strata_norms = {stratum: [] for stratum in range(len(STRATA))}
+        for i, (point_t_rh, stratum, _) in enumerate(grid):
+            if point_t_rh != t_rh:
+                continue
+            baseline, defended = metrics[2 * i], metrics[2 * i + 1]
+            strata_norms[stratum].append(defended.normalized_to(baseline))
+        hot_norms = [
+            norm for stratum in sorted(strata_norms) for norm in strata_norms[stratum]
+        ]
+        weighted = []
+        for stratum, (_, weight) in enumerate(STRATA):
+            weighted.extend([geomean(strata_norms[stratum])] * weight)
+        results[t_rh] = (geomean(hot_norms[:2]), geomean(weighted))
     return results
 
 

@@ -13,13 +13,10 @@ entries with quieter ones; REPRO_FULL=1 runs all 28 + quiet sample.
 from benchmarks.conftest import full_runs_requested
 
 from repro.analysis.charts import s_curve
-from repro.analysis.perf import records_for_windows, run_workload
+from repro.analysis.perf import records_for_windows
 from repro.analysis.report import render_table
-from repro.core.config import RRSConfig
-from repro.core.rrs import RandomizedRowSwap
 from repro.dram.config import DRAMConfig
-from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
-from repro.mitigations.none import NoMitigation
+from repro.exec import MitigationSpec, SweepPoint, SweepRunner
 from repro.utils.stats import geomean
 from repro.workloads.suites import WORKLOAD_TABLE, get_workload
 
@@ -40,23 +37,11 @@ DEFAULT_WORKLOADS = (
 )
 
 
-def _blockhammer_factory(blacklist):
-    def factory():
-        return BlockHammer(
-            BlockHammerConfig(
-                t_rh=4800 // SCALE,
-                blacklist_threshold=max(2, blacklist // SCALE),
-                window_ns=DRAMConfig().scaled(SCALE).refresh_window_ns,
-            )
-        )
-
-    return factory
-
-
-def _rrs_factory():
-    dram = DRAMConfig().scaled(SCALE)
-    return RandomizedRowSwap(
-        RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
+def _blockhammer_spec(blacklist):
+    return MitigationSpec.blockhammer(
+        t_rh=4800 // SCALE,
+        blacklist_threshold=max(2, blacklist // SCALE),
+        window_ns=DRAMConfig().scaled(SCALE).refresh_window_ns,
     )
 
 
@@ -67,23 +52,36 @@ def _workload_names():
 
 
 def _measure():
+    """Baseline + three defenses per workload, as one parallel sweep."""
     defenses = {
-        "RRS": _rrs_factory,
-        "BH-512": _blockhammer_factory(512),
-        "BH-1K": _blockhammer_factory(1024),
+        "RRS": MitigationSpec.rrs(t_rh=4800, scale=SCALE),
+        "BH-512": _blockhammer_spec(512),
+        "BH-1K": _blockhammer_spec(1024),
     }
-    norms = {name: {} for name in defenses}
-    for workload in dict.fromkeys(_workload_names()):
+    workloads = list(dict.fromkeys(_workload_names()))
+    points = []
+    for workload in workloads:
         spec = get_workload(workload)
         records = records_for_windows(spec, SCALE, max_records=60_000)
-        baseline = run_workload(
-            spec, NoMitigation(), scale=SCALE, records_per_core=records
-        )
-        for defense, factory in defenses.items():
-            metrics = run_workload(
-                spec, factory(), scale=SCALE, records_per_core=records
+        for mitigation in [MitigationSpec.none()] + list(defenses.values()):
+            points.append(
+                SweepPoint(
+                    workload=workload,
+                    mitigation=mitigation,
+                    scale=SCALE,
+                    records_per_core=records,
+                )
             )
-            norms[defense][workload] = metrics.normalized_to(baseline)
+    metrics = SweepRunner().run(points, label="fig11")
+
+    stride = 1 + len(defenses)
+    norms = {name: {} for name in defenses}
+    for i, workload in enumerate(workloads):
+        baseline = metrics[stride * i]
+        for j, defense in enumerate(defenses):
+            norms[defense][workload] = metrics[stride * i + 1 + j].normalized_to(
+                baseline
+            )
     return norms
 
 

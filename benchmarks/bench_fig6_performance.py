@@ -12,11 +12,9 @@ RIT lookup). Set REPRO_FULL=1 to run all 28 Table 3 workloads.
 
 from benchmarks.conftest import full_runs_requested
 
-from repro.analysis.perf import records_for_windows, run_pair
+from repro.analysis.perf import WorkloadResult, records_for_windows
 from repro.analysis.report import render_table
-from repro.core.config import RRSConfig
-from repro.core.rrs import RandomizedRowSwap
-from repro.dram.config import DRAMConfig
+from repro.exec import MitigationSpec, SweepPoint, SweepRunner
 from repro.utils.stats import geomean
 from repro.workloads.suites import ALL_WORKLOADS, WORKLOAD_TABLE, get_workload
 
@@ -40,13 +38,6 @@ DEFAULT_WORKLOADS = (
 PAPER_POINTS = {"bzip2": 0.95, "gcc": 0.95, "hmmer": 0.99, "gromacs": 1.00}
 
 
-def _rrs_factory():
-    dram = DRAMConfig().scaled(SCALE)
-    return RandomizedRowSwap(
-        RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
-    )
-
-
 def _workload_names():
     if full_runs_requested():
         return [spec.name for spec in WORKLOAD_TABLE] + ["gromacs", "povray"]
@@ -54,14 +45,39 @@ def _workload_names():
 
 
 def _measure():
-    results = {}
-    for name in dict.fromkeys(_workload_names()):
+    """Baseline + RRS for every workload, fanned out as one sweep.
+
+    The whole figure goes through the SweepRunner at once: all points
+    run in parallel under ``REPRO_JOBS``, and reruns are served from the
+    content-addressed result cache.
+    """
+    names = list(dict.fromkeys(_workload_names()))
+    points = []
+    for name in names:
         spec = get_workload(name)
         records = records_for_windows(spec, SCALE, max_records=110_000)
-        results[name] = run_pair(
-            spec, _rrs_factory, scale=SCALE, records_per_core=records
+        for mitigation in (
+            MitigationSpec.none(),
+            MitigationSpec.rrs(t_rh=4800, scale=SCALE),
+        ):
+            points.append(
+                SweepPoint(
+                    workload=name,
+                    mitigation=mitigation,
+                    scale=SCALE,
+                    records_per_core=records,
+                )
+            )
+    metrics = SweepRunner().run(points, label="fig6")
+    return {
+        name: WorkloadResult(
+            spec=get_workload(name),
+            baseline=metrics[2 * i],
+            defended=metrics[2 * i + 1],
+            scale=SCALE,
         )
-    return results
+        for i, name in enumerate(names)
+    }
 
 
 def test_fig6_normalized_performance(benchmark, record_result):

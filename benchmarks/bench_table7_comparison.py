@@ -8,15 +8,14 @@ The slowdown rows come from the Figure 6 harness on a representative
 workload.
 """
 
-from repro.analysis.perf import run_pair
 from repro.analysis.report import render_table
 from repro.attacks.base import AttackHarness
 from repro.attacks.patterns import DoubleSidedAttack, HalfDoubleAttack
 from repro.core.config import RRSConfig
 from repro.core.rrs import RandomizedRowSwap
 from repro.dram.config import DRAMConfig
+from repro.exec import MitigationSpec, SweepPoint, SweepRunner
 from repro.mitigations.ideal_vfm import IdealVictimRefresh
-from repro.workloads.suites import get_workload
 
 T_RH = 480
 ROWS = 128 * 1024
@@ -76,20 +75,28 @@ def _attack_outcomes():
 
 
 def _slowdowns():
-    spec = get_workload("stream")
-    dram = DRAMConfig().scaled(SCALE)
-
-    def vfm_factory():
-        return IdealVictimRefresh(t_rh=4800 // SCALE, mitigation_threshold=12)
-
-    def rrs_factory():
-        return RandomizedRowSwap(
-            RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
-        )
-
-    vfm = run_pair(spec, vfm_factory, scale=SCALE, records_per_core=15_000)
-    rrs = run_pair(spec, rrs_factory, scale=SCALE, records_per_core=15_000)
-    return vfm.slowdown_percent, rrs.slowdown_percent
+    """One shared baseline + both defenses, through the sweep runner."""
+    mitigations = (
+        MitigationSpec.none(),
+        MitigationSpec.ideal_vfm(t_rh=4800 // SCALE, mitigation_threshold=12),
+        MitigationSpec.rrs(t_rh=4800, scale=SCALE),
+    )
+    baseline, vfm, rrs = SweepRunner().run(
+        [
+            SweepPoint(
+                workload="stream",
+                mitigation=mitigation,
+                scale=SCALE,
+                records_per_core=15_000,
+            )
+            for mitigation in mitigations
+        ],
+        label="table7",
+    )
+    return (
+        (1.0 - vfm.normalized_to(baseline)) * 100.0,
+        (1.0 - rrs.normalized_to(baseline)) * 100.0,
+    )
 
 
 def _mark(ok):

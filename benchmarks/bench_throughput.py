@@ -1,0 +1,162 @@
+"""Simulator throughput microbenchmark: the repo's perf trajectory.
+
+Runs a 4-point Figure-6-style sweep (baseline-quality RRS runs over
+four representative workloads) four ways — serial, parallel
+(``REPRO_JOBS`` or up to 4 workers), cold cache, warm cache — and
+records simulated requests/second for each into
+``benchmarks/results/BENCH_throughput.json`` so successive PRs can
+track the hot path.
+
+Invariants asserted here (the exec layer's contract):
+
+* parallel results are **bit-identical** to serial ones;
+* a warm-cache rerun performs **zero** simulation calls;
+* on a >=4-core machine, ``--jobs 4`` is >= 2x faster than serial.
+
+``REPRO_BENCH_RECORDS`` overrides the per-core request budget (the
+``make bench-smoke`` target uses a tiny one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, full_runs_requested
+
+from repro.analysis.report import render_table
+from repro.exec import MitigationSpec, ResultCache, SweepPoint, SweepRunner
+
+SCALE = 32
+WORKLOADS = ("hmmer", "bzip2", "stream", "gromacs")
+
+
+def _records_per_core() -> int:
+    override = os.environ.get("REPRO_BENCH_RECORDS", "")
+    if override:
+        return max(200, int(override))
+    return 30_000 if full_runs_requested() else 6_000
+
+
+def _points(records: int):
+    return [
+        SweepPoint(
+            workload=name,
+            mitigation=MitigationSpec.rrs(t_rh=4800, scale=SCALE),
+            scale=SCALE,
+            records_per_core=records,
+        )
+        for name in WORKLOADS
+    ]
+
+
+def _parallel_jobs() -> int:
+    configured = os.environ.get("REPRO_JOBS", "")
+    if configured:
+        return max(1, int(configured))
+    return min(4, os.cpu_count() or 1)
+
+
+def _timed_run(runner: SweepRunner, points) -> tuple:
+    started = time.perf_counter()
+    results = runner.run(points)
+    return results, time.perf_counter() - started
+
+
+def _measure():
+    records = _records_per_core()
+    points = _points(records)
+    jobs = _parallel_jobs()
+
+    serial_results, serial_s = _timed_run(
+        SweepRunner(jobs=1, use_cache=False), points
+    )
+    parallel_results, parallel_s = _timed_run(
+        SweepRunner(jobs=jobs, use_cache=False), points
+    )
+
+    # The cold/warm phases exercise a private throwaway cache, so they
+    # stay meaningful even under a global REPRO_CACHE=0 opt-out.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_runner = SweepRunner(
+            jobs=1, cache=ResultCache(root=Path(tmp), enabled=True)
+        )
+        cold_results, cold_s = _timed_run(cold_runner, points)
+        warm_runner = SweepRunner(
+            jobs=1, cache=ResultCache(root=Path(tmp), enabled=True)
+        )
+        warm_results, warm_s = _timed_run(warm_runner, points)
+
+    requests = sum(metrics.accesses for metrics in serial_results)
+    serial_dicts = [metrics.to_dict() for metrics in serial_results]
+    assert [m.to_dict() for m in parallel_results] == serial_dicts, (
+        "parallel sweep results must be bit-identical to serial"
+    )
+    assert [m.to_dict() for m in cold_results] == serial_dicts
+    assert [m.to_dict() for m in warm_results] == serial_dicts, (
+        "cache round-trip must reproduce results bit-identically"
+    )
+    assert warm_runner.stats.simulated == 0, "warm cache reran a simulation"
+    assert warm_runner.cache.hits == len(points)
+    assert cold_runner.stats.simulated == len(points)
+
+    return {
+        "sweep_points": len(points),
+        "records_per_core": records,
+        "requests_simulated": requests,
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "cold_cache_seconds": cold_s,
+        "warm_cache_seconds": warm_s,
+        "serial_requests_per_second": requests / serial_s,
+        "parallel_requests_per_second": requests / parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "warm_cache_speedup": serial_s / warm_s,
+        "warm_cache_simulations": warm_runner.stats.simulated,
+        "warm_cache_hits": warm_runner.cache.hits,
+    }
+
+
+def test_throughput(benchmark, record_result):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_throughput.json").write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+    rows = [
+        ["serial", f"{data['serial_seconds']:.2f}s",
+         f"{data['serial_requests_per_second']:,.0f} req/s"],
+        [f"parallel (jobs={data['jobs']})", f"{data['parallel_seconds']:.2f}s",
+         f"{data['parallel_requests_per_second']:,.0f} req/s"],
+        ["cold cache", f"{data['cold_cache_seconds']:.2f}s", ""],
+        ["warm cache", f"{data['warm_cache_seconds']:.2f}s",
+         f"{data['warm_cache_speedup']:,.0f}x vs serial, 0 sims"],
+    ]
+    record_result(
+        "bench_throughput",
+        render_table(
+            ["Mode", "Wall clock", "Throughput"],
+            rows,
+            title=(
+                f"Sweep throughput: {data['sweep_points']} points, "
+                f"{data['requests_simulated']:,} requests "
+                f"({data['cpus']} CPUs)"
+            ),
+        ),
+    )
+
+    # Warm cache must be dramatically faster than simulating.
+    assert data["warm_cache_seconds"] < data["serial_seconds"]
+    # The >=2x parallel-speedup bar applies where the hardware offers
+    # the parallelism (the acceptance criterion's 4-core runner).
+    if data["cpus"] >= 4 and data["jobs"] >= 4:
+        assert data["parallel_speedup"] >= 2.0, (
+            f"expected >=2x parallel speedup, got {data['parallel_speedup']:.2f}x"
+        )

@@ -2,14 +2,17 @@
 
 Executes the test suite, then every benchmark (each regenerating one of
 the paper's tables/figures into ``benchmarks/results/``), and prints a
-final index of the archived results.
+final index of the archived results with per-stage wall-clock totals.
 
-Usage: python scripts/run_all_experiments.py [--full]
-       --full sets REPRO_FULL=1 (all 78 workloads where applicable)
+Usage: python scripts/run_all_experiments.py [--full] [--jobs N]
+       --full   sets REPRO_FULL=1 (all 78 workloads where applicable)
+       --jobs N fans sweep-shaped benchmarks out over N worker
+                processes (forwarded to the SweepRunner via REPRO_JOBS)
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import subprocess
 import sys
@@ -19,30 +22,51 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 
-def run(label: str, args: list, env: dict) -> bool:
+def run(label: str, args: list, env: dict, timings: list) -> bool:
     print(f"\n=== {label} ===")
     start = time.time()
     result = subprocess.run(args, cwd=REPO, env=env)
+    elapsed = time.time() - start
+    timings.append((label, elapsed, result.returncode == 0))
     print(f"=== {label}: {'OK' if result.returncode == 0 else 'FAILED'} "
-          f"({time.time() - start:.0f}s) ===")
+          f"({elapsed:.0f}s) ===")
     return result.returncode == 0
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="set REPRO_FULL=1 (full workload populations)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="sweep worker processes (sets REPRO_JOBS)")
+    args = parser.parse_args()
+
     env = dict(os.environ)
-    if "--full" in sys.argv:
+    if args.full:
         env["REPRO_FULL"] = "1"
+    if args.jobs > 0:
+        env["REPRO_JOBS"] = str(args.jobs)
+
+    timings: list = []
     ok = True
     ok &= run("unit/integration/property tests",
-              [sys.executable, "-m", "pytest", "tests/", "-q"], env)
+              [sys.executable, "-m", "pytest", "tests/", "-q"], env, timings)
     ok &= run("benchmarks (tables & figures)",
               [sys.executable, "-m", "pytest", "benchmarks/",
-               "--benchmark-only", "-q"], env)
+               "--benchmark-only", "-q"], env, timings)
 
     results = sorted((REPO / "benchmarks" / "results").glob("*.txt"))
     print("\narchived results:")
     for path in results:
         print(f"  benchmarks/results/{path.name}")
+
+    print("\nstage wall-clock totals:")
+    for label, elapsed, stage_ok in timings:
+        status = "ok" if stage_ok else "FAILED"
+        print(f"  {elapsed:8.1f}s  {status:6s}  {label}")
+    print(f"  {sum(elapsed for _, elapsed, _ in timings):8.1f}s  total"
+          f"          (jobs={env.get('REPRO_JOBS', '1')})")
+
     print("\nsee EXPERIMENTS.md for the paper-vs-measured discussion")
     return 0 if ok else 1
 

@@ -27,8 +27,9 @@ Package layout mirrors the system inventory in DESIGN.md: ``dram`` is
 the device model, ``mem`` the memory-system simulator, ``workloads``
 the calibrated synthetic traces, ``track`` the tracking structures,
 ``core`` the RRS defense itself, ``mitigations`` the baselines,
-``attacks`` the attack generators, and ``analysis`` the paper's
-analytical security/storage/power models.
+``attacks`` the attack generators, ``analysis`` the paper's
+analytical security/storage/power models, and ``exec`` the sweep
+executor (parallel fan-out + content-addressed result caching).
 """
 
 from repro.dram import DRAMConfig, DisturbanceModel

@@ -24,7 +24,7 @@ def _log2_exact(value: int, name: str) -> int:
     return bits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedAddress:
     """DRAM coordinates for one physical address."""
 
@@ -51,22 +51,32 @@ class AddressMapper:
         self._bank_bits = _log2_exact(config.banks_per_rank, "bank count")
         self._column_bits = _log2_exact(config.lines_per_row, "lines per row")
         self._row_bits = _log2_exact(config.rows_per_bank, "rows per bank")
+        # decode() runs once per request in the simulator's inner loop:
+        # fold the field layout into absolute shift/mask pairs so a
+        # decode is five shift-and-mask operations with no config
+        # attribute traffic.
+        self._channel_shift = self._line_bits
+        self._rank_shift = self._channel_shift + self._channel_bits
+        self._bank_shift = self._rank_shift + self._rank_bits
+        self._column_shift = self._bank_shift + self._bank_bits
+        self._row_shift = self._column_shift + self._column_bits
+        self._channel_mask = config.channels - 1
+        self._rank_mask = config.ranks_per_channel - 1
+        self._bank_mask = config.banks_per_rank - 1
+        self._column_mask = config.lines_per_row - 1
+        self._row_mask = config.rows_per_bank - 1
 
     def decode(self, address: int) -> DecodedAddress:
         """Split a physical byte address into DRAM coordinates."""
         if address < 0:
             raise ValueError("address must be non-negative")
-        bits = address >> self._line_bits
-        channel = bits & (self.config.channels - 1)
-        bits >>= self._channel_bits
-        rank = bits & (self.config.ranks_per_channel - 1)
-        bits >>= self._rank_bits
-        bank = bits & (self.config.banks_per_rank - 1)
-        bits >>= self._bank_bits
-        column = bits & (self.config.lines_per_row - 1)
-        bits >>= self._column_bits
-        row = bits & (self.config.rows_per_bank - 1)
-        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+        return DecodedAddress(
+            channel=(address >> self._channel_shift) & self._channel_mask,
+            rank=(address >> self._rank_shift) & self._rank_mask,
+            bank=(address >> self._bank_shift) & self._bank_mask,
+            row=(address >> self._row_shift) & self._row_mask,
+            column=(address >> self._column_shift) & self._column_mask,
+        )
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Inverse of :meth:`decode` (byte offset within the line is 0)."""

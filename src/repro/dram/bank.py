@@ -19,6 +19,18 @@ from repro.dram.timing import AccessOutcome, BankTimingState
 class Bank:
     """One DRAM bank: row buffer, timing, activation counts, faults."""
 
+    __slots__ = (
+        "config",
+        "channel",
+        "rank",
+        "index",
+        "timing",
+        "disturbance",
+        "window_act_counts",
+        "total_activations",
+        "windows_elapsed",
+    )
+
     def __init__(
         self,
         config: DRAMConfig,

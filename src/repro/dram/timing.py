@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.dram.config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of servicing one column access on a bank."""
 
@@ -25,7 +25,7 @@ class AccessOutcome:
     activated: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class BankTimingState:
     """Mutable DDR timing state for one bank.
 

@@ -1,0 +1,208 @@
+"""Parallel sweep executor.
+
+Every performance experiment in the paper — Figure 6/10/11, Tables 4-7
+— is a sweep of *independent* full-system runs (workload x mitigation x
+threshold). :class:`SweepRunner` fans those runs out across worker
+processes and memoizes each one in the content-addressed
+:class:`~repro.exec.cache.ResultCache`.
+
+Determinism: a run is a pure function of its :class:`SweepPoint` — the
+trace generators and the RRS destination picker all draw from named
+streams derived from the point's seed (``repro.utils.rng``), so results
+are bit-identical whether a point executes in-process, in a worker, or
+comes back from the cache. A parallel sweep therefore reproduces a
+serial one exactly, and the determinism suite asserts it.
+
+Worker count: the ``jobs`` argument, else ``$REPRO_JOBS``, else 1.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.config import DRAMConfig
+from repro.exec.cache import CACHE_SALT, ResultCache, canonical_key
+from repro.exec.specs import MitigationSpec
+from repro.mem.cpu import CoreConfig
+from repro.mem.metrics import SimMetrics
+from repro.mem.system import SystemConfig
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (min 1; bad values mean 1)."""
+    try:
+        jobs = int(os.environ.get(_ENV_JOBS, "1"))
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Complete description of one independent simulation run.
+
+    ``records_per_core=None`` means "size the run to cover ~1.3 scaled
+    refresh windows" (:func:`repro.analysis.perf.records_for_windows`);
+    it is resolved to a concrete count before hashing so the cache key
+    never depends on an implicit default.
+    """
+
+    workload: str
+    mitigation: MitigationSpec
+    scale: int = 32
+    records_per_core: Optional[int] = None
+    max_records: int = 120_000
+    cores: int = 8
+    seed: int = 0
+    with_faults: bool = False
+    t_rh: float = 4800.0
+
+    def resolved(self) -> "SweepPoint":
+        """This point with ``records_per_core`` made concrete."""
+        if self.records_per_core is not None:
+            return self
+        from repro.analysis.perf import records_for_windows
+        from repro.workloads.suites import get_workload
+
+        records = records_for_windows(
+            get_workload(self.workload), self.scale, max_records=self.max_records
+        )
+        return replace(self, records_per_core=records)
+
+    def system_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` this point runs under."""
+        return SystemConfig(
+            dram=DRAMConfig().scaled(self.scale),
+            core=CoreConfig(),
+            cores=self.cores,
+            with_faults=self.with_faults,
+            t_rh=self.t_rh,
+        )
+
+    def cache_key(self, salt: str = CACHE_SALT) -> str:
+        """Content hash over every input that shapes the result."""
+        point = self.resolved()
+        description = {
+            "workload": point.workload,
+            "mitigation": point.mitigation.canonical(),
+            "system": asdict(point.system_config()),
+            "records_per_core": point.records_per_core,
+            "seed": point.seed,
+        }
+        return canonical_key(description, salt=salt)
+
+
+def execute_point(point: SweepPoint) -> SimMetrics:
+    """Run one sweep point to completion (no caching).
+
+    Module-level so worker processes can unpickle it by reference.
+    """
+    from repro.analysis.perf import run_workload
+    from repro.workloads.suites import get_workload
+
+    point = point.resolved()
+    return run_workload(
+        get_workload(point.workload),
+        point.mitigation.build(),
+        scale=point.scale,
+        records_per_core=point.records_per_core,
+        cores=point.cores,
+        seed=point.seed,
+        with_faults=point.with_faults,
+        t_rh=point.t_rh,
+    )
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one :meth:`SweepRunner.run` call (cumulative)."""
+
+    points: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    wall_seconds: float = 0.0
+    per_label_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class SweepRunner:
+    """Executes batches of :class:`SweepPoint` with fan-out + caching.
+
+    ``jobs=1`` runs in-process (no executor overhead); ``jobs>1`` uses a
+    :class:`ProcessPoolExecutor`. ``cache=None`` with ``use_cache=True``
+    opens the default on-disk cache; pass ``use_cache=False`` for pure
+    timing runs.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = max(1, jobs) if jobs is not None else default_jobs()
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = ResultCache()
+        else:
+            self.cache = ResultCache(enabled=False)
+        self.stats = SweepStats()
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        label: str = "",
+    ) -> List[SimMetrics]:
+        """Execute every point; results come back in input order.
+
+        Cached points are served without simulating; the rest fan out
+        over ``jobs`` workers. Every fresh result is stored back.
+        """
+        started = time.perf_counter()
+        resolved = [point.resolved() for point in points]
+        keys = [point.cache_key() for point in resolved]
+        results: List[Optional[SimMetrics]] = [None] * len(resolved)
+
+        pending: List[Tuple[int, SweepPoint]] = []
+        for index, (point, key) in enumerate(zip(resolved, keys)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append((index, point))
+
+        if pending:
+            fresh = self._execute(point for _, point in pending)
+            for (index, _), metrics in zip(pending, fresh):
+                results[index] = metrics
+                self.cache.put(keys[index], metrics)
+            self.stats.simulated += len(pending)
+
+        self.stats.points += len(resolved)
+        elapsed = time.perf_counter() - started
+        self.stats.wall_seconds += elapsed
+        if label:
+            self.stats.per_label_seconds[label] = (
+                self.stats.per_label_seconds.get(label, 0.0) + elapsed
+            )
+        return [metrics for metrics in results if metrics is not None]
+
+    def run_one(self, point: SweepPoint) -> SimMetrics:
+        """Convenience wrapper for a single point."""
+        return self.run([point])[0]
+
+    # ------------------------------------------------------------------
+    def _execute(self, points) -> List[SimMetrics]:
+        points = list(points)
+        if self.jobs == 1 or len(points) <= 1:
+            return [execute_point(point) for point in points]
+        workers = min(self.jobs, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_point, points))

@@ -22,7 +22,7 @@ from repro.mem.request import MemoryRequest
 from repro.workloads.trace import TraceRecord
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreConfig:
     """Core parameters (paper Table 2)."""
 
@@ -39,14 +39,27 @@ class CoreConfig:
 class Core:
     """One trace-driven core feeding the memory system."""
 
+    __slots__ = (
+        "core_id",
+        "config",
+        "_trace",
+        "time_ns",
+        "instructions_retired",
+        "_inst_issued",
+        "_outstanding",
+        "_pending",
+        "_pending_issue_ns",
+        "_exhausted",
+    )
+
     def __init__(
         self,
         core_id: int,
         trace: Iterator[TraceRecord],
-        config: CoreConfig = CoreConfig(),
+        config: Optional[CoreConfig] = None,
     ) -> None:
         self.core_id = core_id
-        self.config = config
+        self.config = config if config is not None else CoreConfig()
         self._trace = iter(trace)
         self.time_ns = 0.0
         self.instructions_retired = 0

@@ -3,12 +3,18 @@
 The paper's figure of merit is IPC normalized to the no-mitigation
 baseline (Figure 6); swap counts, victim refreshes, activation totals
 and channel-blocked time feed Figures 5/10/11 and the power model.
+
+Metrics round-trip losslessly through :meth:`SimMetrics.to_dict` /
+:meth:`SimMetrics.from_dict` (and the :func:`dumps`/:func:`loads` JSON
+helpers), which is what lets the ``repro.exec`` result cache persist
+runs on disk and hand them back bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List
 
 from repro.utils.stats import geomean
 
@@ -53,3 +59,39 @@ class SimMetrics:
         if baseline.ipc <= 0:
             raise ValueError("baseline IPC must be positive")
         return self.ipc / baseline.ipc
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view of every field (lists are copied)."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, list) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimMetrics":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are rejected (a corrupt or stale cache entry must
+        fail loudly rather than silently drop data); missing keys fall
+        back to field defaults so old entries stay readable when a new
+        counter is added.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimMetrics fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def dumps(metrics: SimMetrics) -> str:
+    """Serialize one run's metrics to a JSON string."""
+    return json.dumps(metrics.to_dict(), sort_keys=True)
+
+
+def loads(text: str) -> SimMetrics:
+    """Inverse of :func:`dumps`."""
+    return SimMetrics.from_dict(json.loads(text))

@@ -8,7 +8,7 @@ from typing import Optional
 from repro.dram.address import DecodedAddress
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One post-LLC memory access on its way to DRAM.
 

@@ -41,9 +41,12 @@ class SystemSimulator:
 
     def __init__(
         self,
-        config: SystemConfig = SystemConfig(),
+        config: Optional[SystemConfig] = None,
         mitigation: Optional[Mitigation] = None,
     ) -> None:
+        # Resolved here rather than as a def-time default so simulators
+        # never alias one shared SystemConfig instance.
+        config = config if config is not None else SystemConfig()
         self.config = config
         self.mitigation = mitigation if mitigation is not None else NoMitigation()
         self.mapper = AddressMapper(config.dram)
@@ -91,19 +94,28 @@ class SystemSimulator:
         ]
         heapq.heapify(heap)
 
+        # Hot loop: one iteration per memory request. Bound lookups are
+        # hoisted to locals — at tens of millions of requests per sweep
+        # the attribute traffic is measurable.
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        advance_refresh = self.refresh.advance_to
+        decode = self.mapper.decode
+        controllers = self.controllers
+
         while heap:
-            _, core_id = heapq.heappop(heap)
+            _, core_id = heappop(heap)
             core = cores[core_id]
             if core.done:
                 continue
             request = core.issue()
-            self.refresh.advance_to(request.arrival_ns)
-            request.decoded = self.mapper.decode(request.address)
-            controller = self.controllers[request.decoded.channel]
-            controller.service(request)
+            advance_refresh(request.arrival_ns)
+            decoded = decode(request.address)
+            request.decoded = decoded
+            controllers[decoded.channel].service(request)
             core.complete(request)
             if not core.done:
-                heapq.heappush(heap, (core.next_issue_time(), core_id))
+                heappush(heap, (core.next_issue_time(), core_id))
 
         for core in cores:
             core.drain()

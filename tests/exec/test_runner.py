@@ -1,0 +1,151 @@
+"""SweepRunner: spec building, caching behaviour, ordering, env knobs."""
+
+import pytest
+
+from repro.core.rrs import RandomizedRowSwap
+from repro.exec import (
+    MitigationSpec,
+    ResultCache,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
+    registered_kinds,
+)
+from repro.exec.runner import default_jobs
+from repro.mitigations.blockhammer import BlockHammer
+from repro.mitigations.ideal_vfm import IdealVictimRefresh
+from repro.mitigations.none import NoMitigation
+
+
+def _point(workload="stream", records=800, cores=2, **overrides):
+    kwargs = dict(
+        workload=workload,
+        mitigation=MitigationSpec.none(),
+        scale=32,
+        records_per_core=records,
+        cores=cores,
+    )
+    kwargs.update(overrides)
+    return SweepPoint(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Mitigation specs
+# ----------------------------------------------------------------------
+def test_builtin_kinds_registered():
+    assert set(registered_kinds()) >= {"none", "rrs", "blockhammer", "ideal_vfm"}
+
+
+def test_spec_builders_produce_right_types():
+    assert isinstance(MitigationSpec.none().build(), NoMitigation)
+    assert isinstance(
+        MitigationSpec.rrs(t_rh=4800, scale=32).build(), RandomizedRowSwap
+    )
+    assert isinstance(
+        MitigationSpec.blockhammer(
+            t_rh=150, blacklist_threshold=16, window_ns=2_000_000
+        ).build(),
+        BlockHammer,
+    )
+    assert isinstance(
+        MitigationSpec.ideal_vfm(t_rh=150, mitigation_threshold=12).build(),
+        IdealVictimRefresh,
+    )
+
+
+def test_rrs_spec_matches_manual_derivation():
+    """The 'rrs' builder must reproduce the Figure 6 factory exactly."""
+    from repro.core.config import RRSConfig
+    from repro.dram.config import DRAMConfig
+
+    built = MitigationSpec.rrs(t_rh=4800, scale=32).build()
+    manual = RRSConfig.for_threshold(4800, DRAMConfig()).scaled(32)
+    assert built.config == manual
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown mitigation kind"):
+        MitigationSpec.make("warp-drive").build()
+
+
+def test_non_scalar_param_rejected():
+    with pytest.raises(TypeError):
+        MitigationSpec.make("rrs", rows=[1, 2])
+
+
+def test_spec_is_hashable_and_order_independent():
+    a = MitigationSpec.make("rrs", t_rh=4800, scale=32)
+    b = MitigationSpec.make("rrs", scale=32, t_rh=4800)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.canonical() == {"kind": "rrs", "params": {"scale": 32, "t_rh": 4800}}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def test_serial_run_matches_direct_execution(tmp_path):
+    point = _point()
+    runner = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    assert runner.run([point]) == [execute_point(point)]
+
+
+def test_results_preserve_input_order(tmp_path):
+    points = [_point(workload=name) for name in ("stream", "gromacs", "hmmer")]
+    runner = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    results = runner.run(points)
+    assert [metrics.workload for metrics in results] == [
+        "stream",
+        "gromacs",
+        "hmmer",
+    ]
+
+
+def test_rerun_is_served_entirely_from_cache(tmp_path):
+    points = [_point(), _point(mitigation=MitigationSpec.rrs(t_rh=4800, scale=32))]
+    first = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    before = first.run(points)
+    assert first.stats.simulated == 2
+
+    second = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    after = second.run(points)
+    assert second.stats.simulated == 0
+    assert second.stats.cache_hits == 2
+    assert after == before
+
+
+def test_partial_cache_only_simulates_changed_points(tmp_path):
+    cache_root = tmp_path / "cache"
+    warm = SweepRunner(jobs=1, cache=ResultCache(root=cache_root))
+    warm.run([_point()])
+
+    mixed = SweepRunner(jobs=1, cache=ResultCache(root=cache_root))
+    mixed.run([_point(), _point(seed=7)])
+    assert mixed.stats.cache_hits == 1
+    assert mixed.stats.simulated == 1
+
+
+def test_stats_accumulate_and_label(tmp_path):
+    runner = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    runner.run([_point()], label="first")
+    runner.run([_point(seed=3)], label="first")
+    assert runner.stats.points == 2
+    assert set(runner.stats.per_label_seconds) == {"first"}
+    assert runner.stats.wall_seconds > 0
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert default_jobs() == 1
+    monkeypatch.delenv("REPRO_JOBS")
+    assert default_jobs() == 1
+
+
+def test_runner_jobs_argument_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert SweepRunner(jobs=2, use_cache=False).jobs == 2
+    assert SweepRunner(use_cache=False).jobs == 6

@@ -1,8 +1,10 @@
-"""SimMetrics aggregation."""
+"""SimMetrics aggregation and serialization."""
+
+from dataclasses import fields
 
 import pytest
 
-from repro.mem.metrics import SimMetrics
+from repro.mem.metrics import SimMetrics, dumps, loads
 
 
 def test_ipc_geomean_over_cores():
@@ -33,6 +35,73 @@ def test_swaps_per_window():
 def test_swaps_per_window_without_complete_window():
     metrics = SimMetrics(swaps=7, windows=0)
     assert metrics.swaps_per_window == 7.0
+
+
+def _fully_populated_metrics() -> SimMetrics:
+    """A SimMetrics with every field set to a distinctive value."""
+    return SimMetrics(
+        workload="bzip2",
+        mitigation="RRS",
+        instructions=987_654,
+        core_ipcs=[1.25, 2.5, 0.75],
+        sim_time_ns=123_456.789,
+        activations=4242,
+        row_buffer_hits=2121,
+        accesses=6363,
+        swaps=17,
+        swap_blocked_ns=456.5,
+        victim_refreshes=9,
+        throttle_delay_ns=78.25,
+        mean_read_latency_ns=55.5,
+        windows=3,
+        swap_history=[5, 7, 5],
+        bit_flips=2,
+    )
+
+
+def test_to_dict_covers_every_field():
+    metrics = _fully_populated_metrics()
+    data = metrics.to_dict()
+    assert set(data) == {spec.name for spec in fields(SimMetrics)}
+    # No field silently kept its default.
+    assert data != SimMetrics().to_dict()
+    for name, value in data.items():
+        assert value == getattr(metrics, name)
+
+
+def test_dict_round_trip_every_field():
+    metrics = _fully_populated_metrics()
+    clone = SimMetrics.from_dict(metrics.to_dict())
+    assert clone == metrics
+    for spec in fields(SimMetrics):
+        assert getattr(clone, spec.name) == getattr(metrics, spec.name), spec.name
+
+
+def test_json_round_trip_preserves_swap_history():
+    metrics = _fully_populated_metrics()
+    clone = loads(dumps(metrics))
+    assert clone == metrics
+    assert clone.swap_history == [5, 7, 5]
+    assert clone.ipc == pytest.approx(metrics.ipc)
+
+
+def test_to_dict_copies_lists():
+    metrics = _fully_populated_metrics()
+    data = metrics.to_dict()
+    data["swap_history"].append(99)
+    assert metrics.swap_history == [5, 7, 5]
+
+
+def test_from_dict_defaults_missing_fields():
+    clone = SimMetrics.from_dict({"workload": "gcc", "swaps": 4})
+    assert clone.workload == "gcc"
+    assert clone.swaps == 4
+    assert clone.core_ipcs == []
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown SimMetrics fields"):
+        SimMetrics.from_dict({"workload": "gcc", "not_a_field": 1})
 
 
 def test_swap_history_and_flips_from_system(small_dram):
