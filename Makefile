@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke experiments clean-cache
+.PHONY: test lint check bench bench-smoke experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
+
+lint:  ## ruff + mypy (configs in pyproject.toml)
+	ruff check src tests
+	mypy
+
+check:  ## repro.check pillars: determinism linter, salt drift, sanitizer smoke
+	$(PYTHON) -m repro check
 
 bench:  ## regenerate every table & figure (slow; honours REPRO_JOBS)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -36,6 +36,7 @@ class MultiBankResult:
         """
         if self.elapsed_ns <= 0 or not self.per_bank_activations:
             return 1.0
+        # repro-check: RRS005 -- integer counts: sum is order-independent
         per_bank = sum(self.per_bank_activations.values()) / len(
             self.per_bank_activations
         )

@@ -1,0 +1,54 @@
+"""Static and runtime analysis guarding the reproduction's invariants.
+
+Three pillars, surfaced through ``python -m repro check``:
+
+* :mod:`repro.check.linter` — an AST determinism linter with
+  project-specific rules (RRS001...): every simulation result must be a
+  pure function of its :class:`~repro.exec.runner.SweepPoint`, so any
+  entropy, wall-clock, or ordering hazard inside the simulation
+  packages is flagged unless it flows through
+  :class:`repro.utils.rng.DeterministicRng`.
+* :mod:`repro.check.sanitizer` — an opt-in (``REPRO_SANITIZE=1``)
+  runtime DDR4 protocol checker hooked into the banks' command streams
+  plus an RRS swap-machinery auditor, raising a structured
+  :class:`~repro.check.sanitizer.ProtocolViolation` on the first break.
+* :mod:`repro.check.salt` — the cache-salt drift detector: the
+  ``CACHE_SALT`` policy of :mod:`repro.exec.cache` enforced by hashing
+  every simulation-relevant source file against a committed manifest.
+"""
+
+from repro.check.findings import Finding, Reporter, RULES
+from repro.check.linter import DeterminismLinter, lint_paths, lint_tree
+from repro.check.salt import (
+    SaltDrift,
+    check_salt,
+    compute_manifest,
+    simulation_relevant_files,
+    write_manifest,
+)
+from repro.check.sanitizer import (
+    BankCommandChecker,
+    ProtocolSanitizer,
+    ProtocolViolation,
+    audit_rit,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "RULES",
+    "BankCommandChecker",
+    "DeterminismLinter",
+    "Finding",
+    "ProtocolSanitizer",
+    "ProtocolViolation",
+    "Reporter",
+    "SaltDrift",
+    "audit_rit",
+    "check_salt",
+    "compute_manifest",
+    "lint_paths",
+    "lint_tree",
+    "sanitize_enabled",
+    "simulation_relevant_files",
+    "write_manifest",
+]

@@ -1,0 +1,128 @@
+"""Finding records, the rule table, and the text/JSON reporters.
+
+Every check in :mod:`repro.check` — linter rules, salt drift, sanitizer
+smoke results — reports through the same :class:`Finding` shape so the
+CLI can merge them into one exit code and one ``--format json`` stream.
+
+Suppression syntax (determinism linter only)
+--------------------------------------------
+A finding is suppressed by a trailing comment on the flagged line or
+the line directly above it::
+
+    acts = sum(counts.values())  # repro-check: RRS005 -- integer counts, order-free
+
+The justification after ``--`` is mandatory: a bare suppression is
+itself reported as RRS008.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+# ----------------------------------------------------------------------
+# Rule table
+# ----------------------------------------------------------------------
+# id -> (title, what the rule guards)
+RULES: Dict[str, tuple] = {
+    "RRS001": (
+        "raw-entropy-source",
+        "`random` or `numpy.random` used directly inside a simulation "
+        "package; all stochastic draws must flow through "
+        "repro.utils.rng.DeterministicRng so results are a pure function "
+        "of the SweepPoint seed",
+    ),
+    "RRS002": (
+        "wall-clock-dependence",
+        "`time`/`datetime` wall-clock read inside a simulation package; "
+        "simulated time must come from the simulator, never the host",
+    ),
+    "RRS003": (
+        "os-entropy-source",
+        "`os.urandom`, `secrets`, or `uuid.uuid1/uuid4` inside a "
+        "simulation package; host entropy breaks run reproducibility",
+    ),
+    "RRS004": (
+        "unordered-set-iteration",
+        "iteration over a set literal/comprehension/`set(...)`; set "
+        "iteration order is salted per process — sort before iterating",
+    ),
+    "RRS005": (
+        "unordered-float-accumulation",
+        "`sum()` over a mapping view in aggregation code; float "
+        "accumulation order must be explicit (sort keys or use "
+        "math.fsum) so metrics never depend on insertion order",
+    ),
+    "RRS006": (
+        "mutable-default-argument",
+        "mutable default argument (list/dict/set/Counter/...); shared "
+        "across calls, it leaks state between runs",
+    ),
+    "RRS007": (
+        "hot-path-slots-omission",
+        "hot-path class without __slots__ (or dataclass(slots=True)); "
+        "per-instance dicts cost measurable time and memory at sweep "
+        "scale",
+    ),
+    "RRS008": (
+        "bare-suppression",
+        "suppression comment without a `-- justification`; every "
+        "suppressed finding must say why it is safe",
+    ),
+    # Non-linter pillars reuse the Finding shape under these ids.
+    "SALT001": (
+        "cache-salt-drift",
+        "a simulation-relevant source file changed without a CACHE_SALT "
+        "bump or a manifest refresh",
+    ),
+    "SAN001": (
+        "protocol-violation",
+        "the DDR4 protocol sanitizer observed a violation during the "
+        "smoke simulation",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported problem, anchored to a file location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def __str__(self) -> str:
+        title = RULES.get(self.rule, ("", ""))[0]
+        label = f"{self.rule}({title})" if title else self.rule
+        return f"{self.path}:{self.line}: {label}: {self.message}"
+
+
+class Reporter:
+    """Renders findings as human text or machine JSON."""
+
+    def __init__(self, fmt: str = "text") -> None:
+        if fmt not in ("text", "json"):
+            raise ValueError(f"unknown report format {fmt!r}")
+        self.fmt = fmt
+
+    def render(self, findings: Iterable[Finding]) -> str:
+        ordered: List[Finding] = sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+        if self.fmt == "json":
+            return json.dumps(
+                {
+                    "findings": [asdict(finding) for finding in ordered],
+                    "count": len(ordered),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        if not ordered:
+            return "ok: no findings"
+        lines = [str(finding) for finding in ordered]
+        lines.append(f"{len(ordered)} finding(s)")
+        return "\n".join(lines)

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's main entry points:
+Five subcommands cover the library's main entry points:
 
 * ``run``      — timing simulation of a workload under a defense
 * ``attack``   — an attack pattern against a defense (flip or not?)
 * ``security`` — the Section 5 analytical attack-cost table
 * ``info``     — list available workloads, defenses, and attacks
+* ``check``    — determinism linter, cache-salt drift detector, and a
+  DDR4 protocol-sanitizer smoke run (see :mod:`repro.check`)
 """
 
 from __future__ import annotations
@@ -202,6 +204,14 @@ def _cmd_security(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    # Imported here so `repro run/attack` never pay for the analysis
+    # machinery.
+    from repro.check.cli import run_check
+
+    return run_check(args)
+
+
 def _cmd_info(args) -> int:
     print("defenses:", ", ".join(DEFENSES))
     print("attacks :", ", ".join(ATTACKS))
@@ -244,6 +254,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="list workloads/defenses/attacks")
     info.set_defaults(func=_cmd_info)
+
+    check = sub.add_parser(
+        "check",
+        help="determinism linter + salt drift + protocol sanitizer",
+        description=(
+            "Run the repro.check analysis pillars. With no pillar flag "
+            "all three run: the determinism linter (--rules), the "
+            "cache-salt drift detector (--salt), and a protocol-"
+            "sanitizer smoke simulation (--sanitize). Exit code is "
+            "non-zero when any pillar reports a finding."
+        ),
+    )
+    check.add_argument(
+        "--rules", action="store_true", help="run only the determinism linter"
+    )
+    check.add_argument(
+        "--salt", action="store_true", help="run only the salt drift detector"
+    )
+    check.add_argument(
+        "--sanitize", action="store_true", help="run only the sanitizer smoke"
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings report format",
+    )
+    check.add_argument(
+        "--paths", nargs="*", default=[], metavar="FILE",
+        help="lint these files instead of the simulation packages",
+    )
+    check.add_argument(
+        "--update-salt", action="store_true",
+        help="re-bless the tree: rewrite the salt manifest before checking",
+    )
+    check.add_argument(
+        "--root", default=None,
+        help="repository root (default: walk up from cwd to pyproject.toml)",
+    )
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -38,6 +38,14 @@ class DRAMConfig:
     t_rfc: int = 350
     t_refi: int = 7_800
     refresh_window_ns: int = 64 * NS_PER_MS
+    # Row-open minimum (ACT->PRE). 0 means "derive as tRC - tRP", which
+    # keeps any custom timing set self-consistent (tRC = tRAS + tRP).
+    t_ras: int = 0
+    # Rank-level ACT spacing windows. The simulator does not model
+    # rank-level ACT scheduling, so these default to 0 ("unmodeled");
+    # the protocol sanitizer checks them only when set positive.
+    t_rrd: int = 0
+    t_faw: int = 0
 
     # Bus: DDR4-3200 — 1.6GHz bus clock, data on both edges, 8B/beat.
     bus_clock_ghz: float = 1.6
@@ -54,8 +62,18 @@ class DRAMConfig:
             raise ValueError("row size must be a whole number of lines")
         if self.t_rc < self.t_rcd:
             raise ValueError("tRC cannot be below tRCD")
+        if self.t_ras < 0 or self.t_rrd < 0 or self.t_faw < 0:
+            raise ValueError("timing windows cannot be negative")
+        if self.t_ras and self.t_ras + self.t_rp > self.t_rc:
+            raise ValueError("tRAS + tRP cannot exceed tRC")
         if self.page_policy not in ("open", "closed"):
             raise ValueError("page policy must be 'open' or 'closed'")
+
+    @property
+    def t_ras_ns(self) -> int:
+        """Effective tRAS: the explicit value, else tRC - tRP (31ns for
+        the paper's 14-14-14/45 timing)."""
+        return self.t_ras if self.t_ras else self.t_rc - self.t_rp
 
     @property
     def banks_total(self) -> int:
@@ -140,6 +158,9 @@ class DRAMConfig:
             t_rfc=self.t_rfc,
             t_refi=self.t_refi,
             refresh_window_ns=self.refresh_window_ns // factor,
+            t_ras=self.t_ras,
+            t_rrd=self.t_rrd,
+            t_faw=self.t_faw,
             bus_clock_ghz=self.bus_clock_ghz,
             bus_bytes_per_beat=self.bus_bytes_per_beat,
             page_policy=self.page_policy,

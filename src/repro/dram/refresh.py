@@ -47,6 +47,9 @@ class RefreshScheduler:
         self._next_window_ns = float(config.refresh_window_ns)
         self.refresh_bursts = 0
         self.windows_completed = 0
+        # Optional hook called with (start_ns, bursts) whenever refresh
+        # executes — the cadence check of repro.check.sanitizer.
+        self.observer = None
 
     @property
     def current_window(self) -> int:
@@ -66,6 +69,8 @@ class RefreshScheduler:
                 bursts = 1 + self.postponed
                 self.postponed = 0
                 start = self._next_refi_ns
+                if self.observer is not None:
+                    self.observer(start, bursts)
                 for _ in range(bursts):
                     for channel in self.channels:
                         for rank in channel.ranks:

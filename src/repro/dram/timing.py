@@ -58,9 +58,14 @@ class BankTimingState:
             return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=True, activated=False)
 
         # Row-buffer miss: precharge if a row is open, then activate.
-        act_at = start + (self.config.t_rp if self.open_row >= 0 else 0)
+        # A PRE may not issue before the open row has been active for
+        # tRAS; with self-consistent timing (tRAS = tRC - tRP) the ACT
+        # schedule is still governed by tRC.
+        act_at = start
         if self.open_row >= 0:
-            self._emit("PRE", self.open_row, start)
+            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
+            self._emit("PRE", self.open_row, pre_at)
+            act_at = pre_at + self.config.t_rp
         act_at = max(act_at, self.last_act_ns + self.config.t_rc)
         data = act_at + self.config.t_rcd + self.config.t_cas
         self.open_row = row
@@ -69,18 +74,22 @@ class BankTimingState:
         self._emit("ACT", row, act_at)
         self._emit("CAS", row, act_at + self.config.t_rcd)
         if self.config.page_policy == "closed":
-            # Auto-precharge: the bank closes right after the burst.
-            self._emit("PRE", row, data)
+            # Auto-precharge: the bank closes after the burst, once the
+            # row has been open for tRAS.
+            pre_at = max(data, act_at + self.config.t_ras_ns)
+            self._emit("PRE", row, pre_at)
             self.open_row = -1
-            self.ready_ns = data + self.config.t_rp
+            self.ready_ns = pre_at + self.config.t_rp
         return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=False, activated=True)
 
     def activate_only(self, row: int, now_ns: float) -> float:
         """Issue a bare ACT (used by attack drivers); returns ACT time."""
         start = self.earliest_start(now_ns)
-        act_at = start + (self.config.t_rp if self.open_row >= 0 else 0)
+        act_at = start
         if self.open_row >= 0:
-            self._emit("PRE", self.open_row, start)
+            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
+            self._emit("PRE", self.open_row, pre_at)
+            act_at = pre_at + self.config.t_rp
         act_at = max(act_at, self.last_act_ns + self.config.t_rc)
         self.open_row = row
         self.last_act_ns = act_at
@@ -92,9 +101,10 @@ class BankTimingState:
         """Close the row buffer; returns when the bank is idle again."""
         start = self.earliest_start(now_ns)
         if self.open_row >= 0:
-            self._emit("PRE", self.open_row, start)
+            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
+            self._emit("PRE", self.open_row, pre_at)
             self.open_row = -1
-            self.ready_ns = start + self.config.t_rp
+            self.ready_ns = pre_at + self.config.t_rp
         return self.ready_ns
 
     def block_until(self, until_ns: float) -> None:

@@ -33,7 +33,11 @@ from typing import Any, Dict, Optional
 from repro.mem.metrics import SimMetrics
 
 # Bump on any semantics-affecting simulator change (see module docs).
-CACHE_SALT = "rrs-sim-v1"
+# v2: tRAS-aware precharge scheduling + tRAS/tRRD/tFAW config fields.
+# This policy is machine-enforced: `python -m repro check --salt`
+# hashes every simulation-relevant source against the manifest in
+# src/repro/check/salt_manifest.json and fails CI on unsalted drift.
+CACHE_SALT = "rrs-sim-v2"
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
@@ -53,9 +57,27 @@ def cache_enabled_by_env() -> bool:
 
 
 def canonical_key(description: Dict[str, Any], salt: str = CACHE_SALT) -> str:
-    """SHA-256 hex key over a canonical-JSON run description + salt."""
+    """SHA-256 hex key over a canonical-JSON run description + salt.
+
+    Rejects descriptions that cannot be canonicalized stably: NaN and
+    ±inf (whose JSON spellings are non-standard and compare unequal to
+    themselves) and values with no JSON representation would otherwise
+    produce a silently unstable — or unreachable — cache key.
+    """
     payload = {"salt": salt, "run": description}
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    try:
+        text = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        raise ValueError(
+            f"run description contains non-finite floats (NaN/inf), which "
+            f"have no canonical JSON form: {exc}"
+        ) from None
+    except TypeError as exc:
+        raise ValueError(
+            f"run description is not canonicalizable to JSON: {exc}"
+        ) from None
     return hashlib.sha256(text.encode()).hexdigest()
 
 

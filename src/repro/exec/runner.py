@@ -22,7 +22,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dram.config import DRAMConfig
 from repro.exec.cache import CACHE_SALT, ResultCache, canonical_key
@@ -199,7 +199,7 @@ class SweepRunner:
         return self.run([point])[0]
 
     # ------------------------------------------------------------------
-    def _execute(self, points) -> List[SimMetrics]:
+    def _execute(self, points: Iterable[SweepPoint]) -> List[SimMetrics]:
         points = list(points)
         if self.jobs == 1 or len(points) <= 1:
             return [execute_point(point) for point in points]

@@ -3,9 +3,12 @@
 Attach a :class:`CommandLog` to any bank and every ACT/PRE/CAS the
 timing model issues is recorded; :meth:`CommandLog.violations` then
 audits the stream against the DDR constraints (tRC between ACTs, tRCD
-from ACT to CAS, tRP from PRE to ACT, CAS only to the open row). This
-is both a debugging instrument and a regression guard: the simulator's
-scheduling arithmetic is re-validated from its own observable output.
+from ACT to CAS, tRP from PRE to ACT, tRAS from ACT to PRE, CAS only
+to the open row). This is both a debugging instrument and a regression
+guard: the simulator's scheduling arithmetic is re-validated from its
+own observable output. For *online* checking that raises at the
+offending command (plus rank-level tRRD/tFAW and RRS invariants), see
+:mod:`repro.check.sanitizer`.
 """
 
 from __future__ import annotations
@@ -116,6 +119,20 @@ class CommandLog:
                 if open_row == -1:
                     found.append(
                         Violation("PRE-on-closed-bank", command, "no open row")
+                    )
+                if (
+                    last_act is not None
+                    and command.time_ns - last_act.time_ns
+                    < self.config.t_ras_ns - _EPS
+                ):
+                    found.append(
+                        Violation(
+                            "tRAS",
+                            command,
+                            f"ACT-to-PRE gap "
+                            f"{command.time_ns - last_act.time_ns:.1f}ns < "
+                            f"{self.config.t_ras_ns}ns",
+                        )
                     )
                 last_pre = command
                 open_row = -1

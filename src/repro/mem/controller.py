@@ -80,6 +80,9 @@ class MemoryController:
         self.write_queue_capacity = write_queue_capacity
         self.write_drain_low = write_drain_low
         self._write_queue: list = []
+        # Set by repro.check.sanitizer when REPRO_SANITIZE=1: audits
+        # the mitigation's swap machinery after every mitigating action.
+        self.sanitizer = None
 
     def service(self, request: MemoryRequest) -> float:
         """Service one request synchronously; returns completion time.
@@ -196,3 +199,5 @@ class MemoryController:
         if action.channel_block_ns > 0.0:
             self.stats.swap_blocked_ns += action.channel_block_ns
             self.channel.block_channel(now_ns, action.channel_block_ns)
+        if self.sanitizer is not None and action.swaps:
+            self.sanitizer.audit_mitigation(self.mitigation)

@@ -10,6 +10,7 @@ are exactly "run baseline, run defense, divide IPCs".
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
@@ -68,6 +69,15 @@ class SystemSimulator:
             self.channels,
             window_callbacks=[self.mitigation.on_window_end],
         )
+        # Opt-in runtime protocol checking (REPRO_SANITIZE=1): every
+        # bank's command stream and the mitigation's swap machinery are
+        # validated online, raising ProtocolViolation on the first
+        # break. Imported lazily so the hot path never pays for it.
+        self.sanitizer = None
+        if os.environ.get("REPRO_SANITIZE", "0") == "1":
+            from repro.check.sanitizer import ProtocolSanitizer
+
+            self.sanitizer = ProtocolSanitizer(config.dram).install(self)
 
     def run(
         self,

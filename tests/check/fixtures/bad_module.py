@@ -1,0 +1,29 @@
+"""Linter fixture: deliberately violates the determinism rules.
+
+Never imported — only parsed by the linter tests and the CLI smoke
+test. Each construct below seeds exactly one known rule violation.
+"""
+
+import random  # RRS001
+import time  # RRS002
+
+
+def pick(choices, seen={}):  # RRS006
+    now = time.monotonic()
+    row = random.randint(0, 128)
+    seen[row] = now
+    return row
+
+
+def total(weights):
+    for item in {1, 2, 3}:  # RRS004
+        weights[item] = item * 2.0
+    return sum(weights.values())  # RRS005
+
+
+def suppressed_total(weights):
+    return sum(weights.values())  # repro-check: RRS005 -- fixture: justified suppression must be honoured
+
+
+def bare_suppressed_total(weights):
+    return sum(weights.values())  # repro-check: RRS005

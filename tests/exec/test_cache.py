@@ -148,3 +148,23 @@ def test_sweep_point_key_stable_across_resolution():
     explicit = implicit.resolved()
     assert explicit.records_per_core is not None
     assert implicit.cache_key() == explicit.cache_key()
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_canonical_key_rejects_non_finite_floats(bad):
+    with pytest.raises(ValueError, match="non-finite"):
+        canonical_key({"t_rh": bad})
+
+
+@pytest.mark.parametrize("bad", [object(), {1, 2}, b"bytes", complex(1, 2)])
+def test_canonical_key_rejects_non_json_values(bad):
+    with pytest.raises(ValueError, match="not canonicalizable"):
+        canonical_key({"value": bad})
+
+
+def test_canonical_key_rejects_nested_non_finite():
+    with pytest.raises(ValueError, match="non-finite"):
+        canonical_key({"mitigation": {"knobs": [1.0, float("nan")]}})
+
+
+def test_canonical_key_accepts_finite_floats():
+    assert len(canonical_key({"t_rh": 4800.0, "duty": 0.925})) == 64

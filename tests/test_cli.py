@@ -1,8 +1,13 @@
 """Command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+BAD_FIXTURE = Path(__file__).parent / "check" / "fixtures" / "bad_module.py"
 
 
 def test_parser_subcommands():
@@ -12,6 +17,9 @@ def test_parser_subcommands():
         ["attack", "--pattern", "half-double"],
         ["security", "--t-rh", "4800"],
         ["info"],
+        ["check"],
+        ["check", "--rules", "--format", "json"],
+        ["check", "--salt", "--update-salt"],
     ):
         args = parser.parse_args(argv)
         assert callable(args.func)
@@ -86,3 +94,29 @@ def test_attack_command_supports_every_defense(defense, capsys):
     assert "vs " + defense in out
     assert code in (0, 1)  # outcome-dependent, but must not crash
 
+
+def test_check_clean_tree_exit_zero(capsys):
+    assert main(["check", "--rules", "--salt"]) == 0
+    assert "ok: no findings" in capsys.readouterr().out
+
+
+def test_check_json_findings_on_seeded_fixture(capsys):
+    code = main(
+        ["check", "--rules", "--paths", str(BAD_FIXTURE), "--format", "json"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    payload = json.loads(out)  # whole stdout must be one JSON document
+    assert payload["count"] == len(payload["findings"]) > 0
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert {"RRS001", "RRS002", "RRS004", "RRS005", "RRS006", "RRS008"} <= rules
+    for finding in payload["findings"]:
+        assert finding["path"].endswith("bad_module.py")
+        assert finding["line"] > 0
+
+
+def test_check_sanitize_smoke_exit_zero(capsys):
+    assert main(["check", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizer smoke" in out
+    assert "ok: no findings" in out
