@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-smoke experiments clean-cache
+.PHONY: test lint check bench bench-smoke trace-smoke experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,9 @@ bench:  ## regenerate every table & figure (slow; honours REPRO_JOBS)
 bench-smoke:  ## throughput microbenchmark with a tiny request budget
 	REPRO_BENCH_RECORDS=800 REPRO_CACHE=0 $(PYTHON) -m pytest \
 		benchmarks/bench_throughput.py --benchmark-only -q
+
+trace-smoke:  ## tiny traced run; validates the Perfetto JSON it writes
+	$(PYTHON) -m repro trace hmmer rrs --records 2000 --out trace-smoke.json
 
 experiments:  ## full pipeline with a result index (use JOBS=N to fan out)
 	$(PYTHON) scripts/run_all_experiments.py $(if $(JOBS),--jobs $(JOBS))

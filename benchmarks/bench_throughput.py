@@ -1,16 +1,21 @@
 """Simulator throughput microbenchmark: the repo's perf trajectory.
 
 Runs a 4-point Figure-6-style sweep (baseline-quality RRS runs over
-four representative workloads) four ways — serial, parallel
-(``REPRO_JOBS`` or up to 4 workers), cold cache, warm cache — and
-records simulated requests/second for each into
+four representative workloads) five ways — serial, parallel
+(``REPRO_JOBS`` or up to 4 workers), cold cache, warm cache, and with
+the ``repro.obs`` tracer fully enabled — and records simulated
+requests/second for each into
 ``benchmarks/results/BENCH_throughput.json`` so successive PRs can
-track the hot path.
+track the hot path. The serial number doubles as the tracer-disabled
+baseline: the obs hooks are always compiled in, so any drift there is
+the cost of the inlined ``is None`` checks (budget: < 5%).
 
 Invariants asserted here (the exec layer's contract):
 
 * parallel results are **bit-identical** to serial ones;
 * a warm-cache rerun performs **zero** simulation calls;
+* full tracing (every category, ring sink) leaves results
+  **bit-identical** to the untraced run;
 * on a >=4-core machine, ``--jobs 4`` is >= 2x faster than serial.
 
 ``REPRO_BENCH_RECORDS`` overrides the per-core request budget (the
@@ -27,8 +32,11 @@ from pathlib import Path
 
 from benchmarks.conftest import RESULTS_DIR, full_runs_requested
 
+from repro.analysis.perf import run_workload
 from repro.analysis.report import render_table
 from repro.exec import MitigationSpec, ResultCache, SweepPoint, SweepRunner
+from repro.obs import Observability, RingSink, Tracer
+from repro.workloads.suites import get_workload
 
 SCALE = 32
 WORKLOADS = ("hmmer", "bzip2", "stream", "gromacs")
@@ -66,6 +74,37 @@ def _timed_run(runner: SweepRunner, points) -> tuple:
     return results, time.perf_counter() - started
 
 
+def _timed_traced_run(points) -> tuple:
+    """Serial sweep with full tracing on: every category, ring sink.
+
+    Mirrors ``execute_point`` but injects a fresh ``Observability`` per
+    point (observers are single-install). The slowdown vs the plain
+    serial run is the *enabled* tracer cost; the serial run itself is
+    the disabled baseline since the hooks are always compiled in.
+    """
+    results = []
+    trace_events = 0
+    started = time.perf_counter()
+    for point in points:
+        obs = Observability(tracer=Tracer(RingSink()), export_extra=False)
+        resolved = point.resolved()
+        results.append(
+            run_workload(
+                get_workload(resolved.workload),
+                resolved.mitigation.build(),
+                scale=resolved.scale,
+                records_per_core=resolved.records_per_core,
+                cores=resolved.cores,
+                seed=resolved.seed,
+                with_faults=resolved.with_faults,
+                t_rh=resolved.t_rh,
+                obs=obs,
+            )
+        )
+        trace_events += obs.tracer.emitted
+    return results, time.perf_counter() - started, trace_events
+
+
 def _measure():
     records = _records_per_core()
     points = _points(records)
@@ -90,6 +129,8 @@ def _measure():
         )
         warm_results, warm_s = _timed_run(warm_runner, points)
 
+    traced_results, traced_s, trace_events = _timed_traced_run(points)
+
     requests = sum(metrics.accesses for metrics in serial_results)
     serial_dicts = [metrics.to_dict() for metrics in serial_results]
     assert [m.to_dict() for m in parallel_results] == serial_dicts, (
@@ -102,6 +143,10 @@ def _measure():
     assert warm_runner.stats.simulated == 0, "warm cache reran a simulation"
     assert warm_runner.cache.hits == len(points)
     assert cold_runner.stats.simulated == len(points)
+    assert [m.to_dict() for m in traced_results] == serial_dicts, (
+        "tracing must never perturb simulation results"
+    )
+    assert trace_events > 0, "the tracer never fired"
 
     return {
         "sweep_points": len(points),
@@ -119,6 +164,14 @@ def _measure():
         "warm_cache_speedup": serial_s / warm_s,
         "warm_cache_simulations": warm_runner.stats.simulated,
         "warm_cache_hits": warm_runner.cache.hits,
+        # repro.obs: the serial row IS the tracer-disabled baseline
+        # (hooks always compiled in); budget for the inlined is-None
+        # checks is < 5% drift across PRs.
+        "tracer_disabled_requests_per_second": requests / serial_s,
+        "tracer_enabled_seconds": traced_s,
+        "tracer_enabled_requests_per_second": requests / traced_s,
+        "tracer_enabled_slowdown": traced_s / serial_s,
+        "trace_events_recorded": trace_events,
     }
 
 
@@ -138,6 +191,10 @@ def test_throughput(benchmark, record_result):
         ["cold cache", f"{data['cold_cache_seconds']:.2f}s", ""],
         ["warm cache", f"{data['warm_cache_seconds']:.2f}s",
          f"{data['warm_cache_speedup']:,.0f}x vs serial, 0 sims"],
+        ["traced (all categories)", f"{data['tracer_enabled_seconds']:.2f}s",
+         f"{data['tracer_enabled_requests_per_second']:,.0f} req/s "
+         f"({data['tracer_enabled_slowdown']:.2f}x serial, "
+         f"{data['trace_events_recorded']:,} events)"],
     ]
     record_result(
         "bench_throughput",

@@ -57,12 +57,19 @@ def run_workload(
     seed: int = 0,
     with_faults: bool = False,
     t_rh: float = 4800.0,
+    obs=None,
 ) -> SimMetrics:
-    """One full-system run of a workload under a mitigation."""
+    """One full-system run of a workload under a mitigation.
+
+    ``obs`` (a :class:`repro.obs.Observability`) installs read-only
+    tracing/metrics probes; None defers to the ``REPRO_TRACE`` env.
+    """
     dram = DRAMConfig().scaled(scale)
     config = SystemConfig(dram=dram, cores=cores, with_faults=with_faults, t_rh=t_rh)
     sim = SystemSimulator(
-        config, mitigation=mitigation if mitigation is not None else NoMitigation()
+        config,
+        mitigation=mitigation if mitigation is not None else NoMitigation(),
+        obs=obs,
     )
     if records_per_core is None:
         records_per_core = records_for_windows(spec, scale)

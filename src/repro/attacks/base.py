@@ -58,9 +58,16 @@ class AttackHarness:
         distance2_coupling: float = 0.016,
         refresh_disturbs_neighbors: bool = True,
         scramble=None,
+        tracer=None,
     ) -> None:
         self.dram = dram
         self.mitigation = mitigation if mitigation is not None else NoMitigation()
+        # Observability (repro.obs): `attack`-category events for window
+        # rollovers, mitigation responses, and bit flips. The tracer is
+        # also handed to the mitigation so RRS swap events interleave.
+        self.tracer = tracer
+        if tracer is not None:
+            self.mitigation.tracer = tracer
         # Optional vendor row scramble (repro.dram.remap.RowScramble):
         # disturbance physics happens on *internal wordlines*, while
         # the mitigation reasons in controller addresses — the paper's
@@ -104,6 +111,17 @@ class AttackHarness:
                 self.bank.end_window()
                 self.mitigation.on_window_end(self.window_index)
                 self.result.windows = self.window_index
+                if self.tracer is not None and self.tracer.wants("attack"):
+                    self.tracer.emit(
+                        "attack",
+                        "window_end",
+                        self.now_ns,
+                        track=("sys", "attack"),
+                        args={
+                            "window": self.window_index,
+                            "activations": self.result.activations,
+                        },
+                    )
 
             physical_row = self.mitigation.route(ATTACK_BANK_KEY, logical_row)
             delay = self.mitigation.pre_activate_delay_ns(
@@ -144,6 +162,19 @@ class AttackHarness:
                 if action.refresh_all_bank:
                     self.disturbance.refresh_all()
                 self.now_ns += action.channel_block_ns
+                if self.tracer is not None and self.tracer.wants("attack"):
+                    self.tracer.emit(
+                        "attack",
+                        "mitigated",
+                        self.now_ns,
+                        track=("sys", "attack"),
+                        args={
+                            "row": logical_row,
+                            "refreshes": len(action.refresh_rows),
+                            "swaps": len(action.swaps),
+                            "blocked_ns": action.channel_block_ns,
+                        },
+                    )
 
             if stop_on_flip and self.disturbance.flips:
                 break
@@ -151,4 +182,30 @@ class AttackHarness:
         self.result.elapsed_ns = self.now_ns
         self.result.flips = list(self.disturbance.flips)
         self.result.windows = self.window_index
+        if self.tracer is not None and self.tracer.wants("attack"):
+            for flip in self.result.flips:
+                self.tracer.emit(
+                    "attack",
+                    "bit_flip",
+                    self.now_ns,
+                    track=("sys", "attack"),
+                    args={
+                        "row": flip.row,
+                        "window": flip.window,
+                        "cause": flip.cause,
+                    },
+                )
+            self.tracer.complete(
+                "attack",
+                "attack_run",
+                0.0,
+                self.now_ns,
+                track=("sys", "attack"),
+                args={
+                    "activations": self.result.activations,
+                    "windows": self.window_index,
+                    "swaps": self.result.swaps,
+                    "flips": len(self.result.flips),
+                },
+            )
         return self.result

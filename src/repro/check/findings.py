@@ -70,6 +70,12 @@ RULES: Dict[str, tuple] = {
         "suppression comment without a `-- justification`; every "
         "suppressed finding must say why it is safe",
     ),
+    "RRS009": (
+        "bare-print-in-sim-package",
+        "`print()` inside src/repro/{mem,dram,core,mitigations,track}; "
+        "simulation packages must stay silent — report through returned "
+        "metrics or the repro.obs tracer, not stdout",
+    ),
     # Non-linter pillars reuse the Finding shape under these ids.
     "SALT001": (
         "cache-salt-drift",

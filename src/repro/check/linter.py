@@ -1,4 +1,4 @@
-"""AST determinism linter (rules RRS001-RRS008).
+"""AST determinism linter (rules RRS001-RRS009).
 
 The cache in :mod:`repro.exec.cache` replays results keyed only by the
 :class:`~repro.exec.runner.SweepPoint`; that is sound *only if* every
@@ -9,9 +9,12 @@ order, mutable default arguments, and missing ``__slots__`` on the
 hot-path classes the sweep executor's throughput depends on.
 
 Scope: the simulation packages
-``src/repro/{dram,mem,mitigations,attacks,track,workloads}``.
+``src/repro/{core,dram,mem,mitigations,attacks,track,workloads}``.
 ``repro.utils.rng`` is the sanctioned entropy funnel and is exempt (it
-is outside the linted set by construction).
+is outside the linted set by construction). RRS009 (no bare ``print``)
+applies to the silent subset ``{mem,dram,core,mitigations,track}`` —
+the packages a traced simulation flows through, where stdout output
+would corrupt machine-readable sweep results.
 
 See :mod:`repro.check.findings` for the rule table and the suppression
 comment syntax.
@@ -28,6 +31,7 @@ from repro.check.findings import Finding
 
 # Packages under src/repro whose files are linted by default.
 TARGET_PACKAGES: Tuple[str, ...] = (
+    "core",
     "dram",
     "mem",
     "mitigations",
@@ -35,6 +39,9 @@ TARGET_PACKAGES: Tuple[str, ...] = (
     "track",
     "workloads",
 )
+
+# Packages where RRS009 bans bare print(): the simulation data path.
+_PRINT_BAN_RE = re.compile(r"(^|/)repro/(mem|dram|core|mitigations|track)/")
 
 # Hot-path classes that must carry __slots__ (RRS007), keyed by the
 # path suffix of the module that defines them.
@@ -84,6 +91,9 @@ class _FileVisitor(ast.NodeVisitor):
         self.lines = lines
         self.findings: List[Finding] = []
         self._numpy_aliases: Set[str] = set()
+        self._ban_print = bool(
+            _PRINT_BAN_RE.search(path.replace("\\", "/"))
+        )
 
     # ------------------------------------------------------------------
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
@@ -194,6 +204,17 @@ class _FileVisitor(ast.NodeVisitor):
                         node,
                         f"{owner.id}.{func.attr}() reads the wall clock",
                     )
+        if (
+            self._ban_print
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._add(
+                "RRS009",
+                node,
+                "bare print() in a simulation package; surface data "
+                "through SimMetrics or a repro.obs trace event instead",
+            )
         if (
             isinstance(func, ast.Name)
             and func.id == "sum"

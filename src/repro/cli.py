@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's main entry points:
+Six subcommands cover the library's main entry points:
 
 * ``run``      — timing simulation of a workload under a defense
 * ``attack``   — an attack pattern against a defense (flip or not?)
 * ``security`` — the Section 5 analytical attack-cost table
+* ``trace``    — a traced simulation exported as Perfetto JSON plus a
+  text timeline (see :mod:`repro.obs`)
 * ``info``     — list available workloads, defenses, and attacks
 * ``check``    — determinism linter, cache-salt drift detector, and a
   DDR4 protocol-sanitizer smoke run (see :mod:`repro.check`)
@@ -16,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.perf import records_for_windows, run_pair
+from repro.analysis.perf import records_for_windows, run_pair, run_workload
 from repro.analysis.report import render_table
 from repro.analysis.security import attack_iterations, duty_cycle
 from repro.attacks import (
@@ -204,6 +206,68 @@ def _cmd_security(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    # repro.obs is imported lazily: every other subcommand stays free
+    # of the observability machinery.
+    from repro.obs import (
+        JsonlSink,
+        Observability,
+        RingSink,
+        Tracer,
+        parse_categories,
+        render_timeline,
+        validate_trace_file,
+        write_trace,
+    )
+
+    spec = get_workload(args.workload)
+    if args.jsonl:
+        sink = JsonlSink(args.jsonl)
+    else:
+        sink = RingSink(args.buffer)
+    tracer = Tracer(sink=sink, categories=parse_categories(args.categories))
+    obs = Observability(tracer=tracer, export_extra=True)
+    mitigation = _build_defense(
+        args.defense, args.scale, args.t_rh, DRAMConfig().rows_per_bank
+    )
+    records = args.records or records_for_windows(spec, args.scale, max_records=80_000)
+    metrics = run_workload(
+        spec,
+        mitigation,
+        scale=args.scale,
+        records_per_core=records,
+        cores=args.cores,
+        obs=obs,
+    )
+
+    events = tracer.events
+    write_trace(
+        args.out,
+        events,
+        metadata={
+            "workload": spec.name,
+            "mitigation": metrics.mitigation,
+            "scale": args.scale,
+            "cores": args.cores,
+        },
+    )
+    validate_trace_file(args.out)
+    obs.close()
+
+    print(render_timeline(events))
+    print()
+    print(
+        f"run: IPC {metrics.ipc:.3f}, {metrics.swaps} swaps, "
+        f"{metrics.sim_time_ns / 1000:.1f} us simulated"
+    )
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {args.out}: {len(events)} events{dropped}")
+    if args.jsonl:
+        print(f"event stream: {args.jsonl}")
+    print("open the trace at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_check(args) -> int:
     # Imported here so `repro run/attack` never pay for the analysis
     # machinery.
@@ -251,6 +315,46 @@ def build_parser() -> argparse.ArgumentParser:
     security.add_argument("--t-rh", type=int, default=4800)
     security.add_argument("--k", type=int, nargs="+", default=[5, 6, 7])
     security.set_defaults(func=_cmd_security)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced simulation: Perfetto JSON + text timeline",
+        description=(
+            "Run one workload under a defense with the repro.obs event "
+            "tracer installed, write a Chrome/Perfetto trace-event JSON "
+            "file, and print a text timeline summary. Tracing is "
+            "read-only: the simulated metrics are bit-identical to an "
+            "untraced run."
+        ),
+    )
+    trace.add_argument("workload", help="workload name (see `repro info`)")
+    trace.add_argument(
+        "defense", nargs="?", choices=DEFENSES, default="rrs",
+        help="defense to trace (default: rrs)",
+    )
+    trace.add_argument("--scale", type=int, default=128)
+    trace.add_argument("--t-rh", type=int, default=4800)
+    trace.add_argument(
+        "--records", type=int, default=8000,
+        help="records per core (0 = size for full refresh windows)",
+    )
+    trace.add_argument("--cores", type=int, default=2)
+    trace.add_argument(
+        "--out", default="trace.json", help="Perfetto trace output path"
+    )
+    trace.add_argument(
+        "--categories", default="all",
+        help="comma list of trace categories (default: all)",
+    )
+    trace.add_argument(
+        "--buffer", type=int, default=1_000_000,
+        help="ring-buffer capacity in events",
+    )
+    trace.add_argument(
+        "--jsonl", default="",
+        help="also stream raw events to this JSONL file",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     info = sub.add_parser("info", help="list workloads/defenses/attacks")
     info.set_defaults(func=_cmd_info)

@@ -107,6 +107,10 @@ class RandomizedRowSwap(Mitigation):
         self._engines: Dict[int, SwapEngine] = {}
         self._engine_factory = engine_factory
         self._swaps_this_window = 0
+        # Observability slot (repro.obs): attached to every swap engine
+        # (existing and lazily created) so per-op swap/unswap telemetry
+        # reaches the metrics registry. Read-only, like `tracer`.
+        self.engine_observer = None
 
     # ------------------------------------------------------------------
     # Mitigation interface
@@ -138,7 +142,7 @@ class RandomizedRowSwap(Mitigation):
         # only counters arriving at a multiple trigger.
         if estimate == 0 or estimate % self.config.t_rrs != 0:
             return NOOP_OUTCOME
-        return self._perform_swap(bank_key, state, row)
+        return self._perform_swap(bank_key, state, row, now_ns)
 
     def on_window_end(self, window_index: int) -> None:
         """Epoch rollover: reset trackers, clear RIT lock bits."""
@@ -175,6 +179,8 @@ class RandomizedRowSwap(Mitigation):
                 engine = SwapEngine(
                     self.dram, latency_scale=float(self.config.time_scale)
                 )
+            if self.engine_observer is not None:
+                engine.observer = self.engine_observer
             self._engines[channel] = engine
         return engine
 
@@ -204,7 +210,7 @@ class RandomizedRowSwap(Mitigation):
         return state
 
     def _perform_swap(
-        self, bank_key: BankKey, state: _BankState, row: int
+        self, bank_key: BankKey, state: _BankState, row: int, now_ns: float
     ) -> MitigationOutcome:
         destination = self._pick_destination(state, row)
         ops = state.rit.swap(row, destination)
@@ -224,6 +230,21 @@ class RandomizedRowSwap(Mitigation):
                 refresh_all = True
                 self.preemptive_refreshes += 1
                 blocked_ns += 2.8e6 / self.config.time_scale
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("rrs.swap"):
+            tracer.emit(
+                "rrs.swap",
+                "swap",
+                now_ns,
+                track=("bank",) + bank_key,
+                args={
+                    "row": row,
+                    "destination": destination,
+                    "ops": len(ops),
+                    "pairs": [[op.kind, op.phys_a, op.phys_b] for op in ops],
+                    "blocked_ns": blocked_ns,
+                },
+            )
         return MitigationOutcome(
             channel_block_ns=blocked_ns,
             swaps=swaps,

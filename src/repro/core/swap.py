@@ -66,6 +66,10 @@ class SwapEngine:
         self.buffer_2 = SwapBuffer(size_bytes=config.row_size_bytes)
         self.ops_executed = 0
         self.total_blocked_ns = 0.0
+        # Observability hook (repro.obs): called with (op, latency_ns)
+        # for every executed exchange. Read-only — the latency math
+        # above is already final when the observer fires.
+        self.observer = None
 
     @property
     def op_latency_ns(self) -> float:
@@ -93,5 +97,7 @@ class SwapEngine:
             self.buffer_2.store()
             total += self.op_latency_ns
             self.ops_executed += 1
+            if self.observer is not None:
+                self.observer(op, self.op_latency_ns)
         self.total_blocked_ns += total
         return total

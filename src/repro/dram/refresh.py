@@ -48,7 +48,9 @@ class RefreshScheduler:
         self.refresh_bursts = 0
         self.windows_completed = 0
         # Optional hook called with (start_ns, bursts) whenever refresh
-        # executes — the cadence check of repro.check.sanitizer.
+        # executes — the cadence check of repro.check.sanitizer and the
+        # `refresh` trace category of repro.obs (chained when both are
+        # installed). Observers read state only; they never reschedule.
         self.observer = None
 
     @property

@@ -31,7 +31,11 @@ class BankTimingState:
 
     ``observer``, when set, receives ``(kind, row, time_ns)`` for every
     command the bank issues — the hook the protocol checker
-    (:mod:`repro.mem.cmdlog`) uses to audit timing legality.
+    (:mod:`repro.mem.cmdlog`), the runtime sanitizer
+    (:mod:`repro.check.sanitizer`), and the event tracer
+    (:mod:`repro.obs`) use to watch the command stream. Multiple
+    consumers stack via :func:`chain_observer`; observers must only
+    read state — they can never affect the timing math.
     """
 
     config: DRAMConfig
@@ -114,3 +118,20 @@ class BankTimingState:
     def _emit(self, kind: str, row: int, time_ns: float) -> None:
         if self.observer is not None:
             self.observer(kind, row, time_ns)
+
+
+def chain_observer(timing: BankTimingState, probe) -> None:
+    """Attach ``probe`` to ``timing`` without displacing an existing
+    observer (both run, existing first). Shared by the protocol
+    sanitizer and the obs tracer so either — or both — can watch the
+    same bank."""
+    existing = timing.observer
+    if existing is None:
+        timing.observer = probe
+        return
+
+    def chained(kind: str, row: int, time_ns: float) -> None:
+        existing(kind, row, time_ns)
+        probe(kind, row, time_ns)
+
+    timing.observer = chained

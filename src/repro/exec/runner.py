@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -32,6 +32,7 @@ from repro.mem.metrics import SimMetrics
 from repro.mem.system import SystemConfig
 
 _ENV_JOBS = "REPRO_JOBS"
+_ENV_PROGRESS = "REPRO_PROGRESS"
 
 
 def default_jobs() -> int:
@@ -119,6 +120,23 @@ def execute_point(point: SweepPoint) -> SimMetrics:
     )
 
 
+def _timed_execute_point(point: SweepPoint) -> Tuple[SimMetrics, float, int]:
+    """Worker wrapper: result plus worker-measured seconds and pid.
+
+    The pid lets the parent's progress reporter aggregate per-worker
+    totals after a parallel sweep (the timing is telemetry only — it
+    never feeds the cache or the metrics).
+    """
+    started = time.perf_counter()
+    metrics = execute_point(point)
+    return metrics, time.perf_counter() - started, os.getpid()
+
+
+def _describe_point(point: SweepPoint) -> str:
+    """Short human label for progress lines and error messages."""
+    return f"{point.workload}/{point.mitigation.kind}@1/{point.scale}"
+
+
 @dataclass
 class SweepStats:
     """Bookkeeping for one :meth:`SweepRunner.run` call (cumulative)."""
@@ -144,6 +162,7 @@ class SweepRunner:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
+        progress: Optional[bool] = None,
     ) -> None:
         self.jobs = max(1, jobs) if jobs is not None else default_jobs()
         if cache is not None:
@@ -152,6 +171,10 @@ class SweepRunner:
             self.cache = ResultCache()
         else:
             self.cache = ResultCache(enabled=False)
+        # Live heartbeat on stderr: explicit flag, else $REPRO_PROGRESS.
+        if progress is None:
+            progress = os.environ.get(_ENV_PROGRESS, "0") == "1"
+        self.progress = progress
         self.stats = SweepStats()
 
     def run(
@@ -163,27 +186,46 @@ class SweepRunner:
 
         Cached points are served without simulating; the rest fan out
         over ``jobs`` workers. Every fresh result is stored back.
+        Raises :class:`RuntimeError` naming the first failed point if
+        any point finishes without a result — a partial sweep must
+        never masquerade as a complete one.
         """
         started = time.perf_counter()
         resolved = [point.resolved() for point in points]
         keys = [point.cache_key() for point in resolved]
         results: List[Optional[SimMetrics]] = [None] * len(resolved)
+        reporter = self._reporter(len(resolved), label)
 
         pending: List[Tuple[int, SweepPoint]] = []
+        hits = 0
         for index, (point, key) in enumerate(zip(resolved, keys)):
             cached = self.cache.get(key)
             if cached is not None:
                 results[index] = cached
-                self.stats.cache_hits += 1
+                hits += 1
             else:
                 pending.append((index, point))
+        self.stats.cache_hits += hits
+        if reporter is not None:
+            reporter.cache_hits(hits)
 
         if pending:
-            fresh = self._execute(point for _, point in pending)
+            fresh = self._execute([point for _, point in pending], reporter)
             for (index, _), metrics in zip(pending, fresh):
                 results[index] = metrics
-                self.cache.put(keys[index], metrics)
+                if metrics is not None:
+                    self.cache.put(keys[index], metrics)
             self.stats.simulated += len(pending)
+
+        missing = [index for index, metrics in enumerate(results) if metrics is None]
+        if missing:
+            first = resolved[missing[0]]
+            raise RuntimeError(
+                f"sweep{':' + label if label else ''} produced no result for "
+                f"{len(missing)} of {len(resolved)} point(s); first missing: "
+                f"{_describe_point(first)} (index {missing[0]}, "
+                f"seed {first.seed}, records {first.records_per_core})"
+            )
 
         self.stats.points += len(resolved)
         elapsed = time.perf_counter() - started
@@ -192,17 +234,48 @@ class SweepRunner:
             self.stats.per_label_seconds[label] = (
                 self.stats.per_label_seconds.get(label, 0.0) + elapsed
             )
-        return [metrics for metrics in results if metrics is not None]
+        if reporter is not None:
+            reporter.finish(elapsed)
+        return list(results)
 
     def run_one(self, point: SweepPoint) -> SimMetrics:
         """Convenience wrapper for a single point."""
         return self.run([point])[0]
 
     # ------------------------------------------------------------------
-    def _execute(self, points: Iterable[SweepPoint]) -> List[SimMetrics]:
+    def _reporter(self, total: int, label: str):
+        """A :class:`~repro.obs.progress.SweepProgress`, or None."""
+        if not self.progress or total == 0:
+            return None
+        from repro.obs.progress import SweepProgress
+
+        return SweepProgress(total, jobs=self.jobs, label=label)
+
+    def _execute(
+        self, points: Sequence[SweepPoint], reporter=None
+    ) -> List[Optional[SimMetrics]]:
         points = list(points)
         if self.jobs == 1 or len(points) <= 1:
-            return [execute_point(point) for point in points]
+            results: List[Optional[SimMetrics]] = []
+            for point in points:
+                metrics, seconds, _ = _timed_execute_point(point)
+                if reporter is not None:
+                    reporter.point_done(_describe_point(point), seconds)
+                results.append(metrics)
+            return results
         workers = min(self.jobs, len(points))
+        ordered: List[Optional[SimMetrics]] = [None] * len(points)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_point, points))
+            futures = {
+                pool.submit(_timed_execute_point, point): index
+                for index, point in enumerate(points)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                metrics, seconds, worker = future.result()
+                ordered[index] = metrics
+                if reporter is not None:
+                    reporter.point_done(
+                        _describe_point(points[index]), seconds, worker=worker
+                    )
+        return ordered

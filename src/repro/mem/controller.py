@@ -83,6 +83,10 @@ class MemoryController:
         # Set by repro.check.sanitizer when REPRO_SANITIZE=1: audits
         # the mitigation's swap machinery after every mitigating action.
         self.sanitizer = None
+        # Set by repro.obs.Observability.install: read-only telemetry
+        # probes (request completions, throttles, mitigation actions).
+        # Disabled cost is one `is None` test per serviced request.
+        self.obs = None
 
     def service(self, request: MemoryRequest) -> float:
         """Service one request synchronously; returns completion time.
@@ -115,6 +119,8 @@ class MemoryController:
             self._write_queue.append(request)
             if len(self._write_queue) >= self.write_queue_capacity:
                 self._drain_writes(request.arrival_ns)
+            if self.obs is not None:
+                self.obs.on_request(request)
             return request.completion_ns
 
         start_floor = request.arrival_ns + self.mitigation.lookup_latency_ns()
@@ -124,6 +130,8 @@ class MemoryController:
             )
             if delay > 0.0:
                 self.stats.throttle_delay_ns += delay
+                if self.obs is not None:
+                    self.obs.on_throttle(bank_key, physical_row, start_floor, delay)
                 start_floor += delay
 
         outcome = bank.access(physical_row, start_floor)
@@ -150,6 +158,8 @@ class MemoryController:
             )
             if not action.is_noop:
                 self._apply(action, bank, completion)
+        if self.obs is not None:
+            self.obs.on_request(request)
         return completion
 
     def _drain_writes(self, now_ns: float) -> None:
@@ -201,3 +211,9 @@ class MemoryController:
             self.channel.block_channel(now_ns, action.channel_block_ns)
         if self.sanitizer is not None and action.swaps:
             self.sanitizer.audit_mitigation(self.mitigation)
+        if self.obs is not None:
+            self.obs.on_mitigation(action, self._bank_key_of(bank), now_ns)
+
+    def _bank_key_of(self, bank) -> tuple:
+        """(channel, rank, bank) key for a Bank object."""
+        return (self.channel.index, bank.rank, bank.index)

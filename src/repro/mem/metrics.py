@@ -39,6 +39,12 @@ class SimMetrics:
     windows: int = 0
     swap_history: List[int] = field(default_factory=list)  # per-window
     bit_flips: int = 0
+    # Optional observability payload (repro.obs): the metrics-registry
+    # snapshot and trace census, populated only when extra export was
+    # requested. Omitted from to_dict() when empty so untraced runs —
+    # and cache entries written before this field existed — serialize
+    # byte-identically to older versions.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -64,10 +70,19 @@ class SimMetrics:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data view of every field (lists are copied)."""
+        """Plain-data view of every field (lists are copied).
+
+        ``extra`` is deep-copied via a JSON round-trip when non-empty
+        and omitted entirely when empty, keeping untraced output
+        byte-compatible with versions that predate the field.
+        """
         out: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "extra":
+                if value:
+                    out[spec.name] = json.loads(json.dumps(value))
+                continue
             out[spec.name] = list(value) if isinstance(value, list) else value
         return out
 

@@ -15,6 +15,19 @@ from typing import Deque, Dict, Optional
 from repro.mem.request import MemoryRequest
 
 
+def _trace_queue(tracer, name: str, request: MemoryRequest, depth: int) -> None:
+    """Emit one ``exec`` queue event (repro.obs); no-op without tracer."""
+    if tracer is None or not tracer.wants("exec"):
+        return
+    tracer.emit(
+        "exec",
+        name,
+        request.arrival_ns,
+        track=("sys", "queue"),
+        args={"depth": depth, "core": request.core_id},
+    )
+
+
 class FCFSScheduler:
     """Strict arrival-order scheduling (the paper's baseline policy)."""
 
@@ -22,6 +35,8 @@ class FCFSScheduler:
 
     def __init__(self) -> None:
         self._queue: Deque[MemoryRequest] = deque()
+        # Observability slot (repro.obs): queue enqueue/dequeue events.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -29,6 +44,8 @@ class FCFSScheduler:
     def enqueue(self, request: MemoryRequest) -> None:
         """Admit one request to the pending queue."""
         self._queue.append(request)
+        if self.tracer is not None:
+            _trace_queue(self.tracer, "enqueue", request, len(self._queue))
 
     def pick(self, open_rows: Dict[tuple, int]) -> Optional[MemoryRequest]:
         """Pop the request to service next; None when queue is empty.
@@ -38,7 +55,10 @@ class FCFSScheduler:
         """
         if not self._queue:
             return None
-        return self._queue.popleft()
+        request = self._queue.popleft()
+        if self.tracer is not None:
+            _trace_queue(self.tracer, "dequeue", request, len(self._queue))
+        return request
 
 
 class FRFCFSScheduler:
@@ -53,6 +73,8 @@ class FRFCFSScheduler:
 
     def __init__(self) -> None:
         self._queue: Deque[MemoryRequest] = deque()
+        # Observability slot (repro.obs): queue enqueue/dequeue events.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -60,16 +82,24 @@ class FRFCFSScheduler:
     def enqueue(self, request: MemoryRequest) -> None:
         """Admit one request to the pending queue."""
         self._queue.append(request)
+        if self.tracer is not None:
+            _trace_queue(self.tracer, "enqueue", request, len(self._queue))
 
     def pick(self, open_rows: Dict[tuple, int]) -> Optional[MemoryRequest]:
         """Pop the first row-buffer hit, falling back to the oldest."""
         if not self._queue:
             return None
+        picked = None
         for index, request in enumerate(self._queue):
             decoded = request.decoded
             if decoded is None:
                 continue
             if open_rows.get(decoded.bank_key, -1) == decoded.row:
                 del self._queue[index]
-                return request
-        return self._queue.popleft()
+                picked = request
+                break
+        if picked is None:
+            picked = self._queue.popleft()
+        if self.tracer is not None:
+            _trace_queue(self.tracer, "dequeue", picked, len(self._queue))
+        return picked

@@ -44,6 +44,7 @@ class SystemSimulator:
         self,
         config: Optional[SystemConfig] = None,
         mitigation: Optional[Mitigation] = None,
+        obs=None,
     ) -> None:
         # Resolved here rather than as a def-time default so simulators
         # never alias one shared SystemConfig instance.
@@ -78,6 +79,16 @@ class SystemSimulator:
             from repro.check.sanitizer import ProtocolSanitizer
 
             self.sanitizer = ProtocolSanitizer(config.dram).install(self)
+        # Opt-in observability (REPRO_TRACE=... or an explicit obs
+        # object): read-only tracing/metrics probes on every layer.
+        # Installed after the sanitizer so its bank observers chain
+        # behind the protocol checks. Lazily imported — an untraced run
+        # never loads repro.obs.
+        if obs is None and os.environ.get("REPRO_TRACE"):
+            from repro.obs.install import Observability
+
+            obs = Observability.from_env()
+        self.obs = obs.install(self) if obs is not None else None
 
     def run(
         self,
@@ -155,6 +166,8 @@ class SystemSimulator:
             metrics.mean_read_latency_ns = total_latency / metrics.accesses
         metrics.swap_history = list(getattr(self.mitigation, "swap_history", []))
         metrics.bit_flips = self.flip_count
+        if self.obs is not None:
+            self.obs.finalize(metrics, self)
         return metrics
 
     @property

@@ -65,6 +65,13 @@ class Mitigation:
 
     name = "base"
 
+    # Observability slot (repro.obs): when a Tracer is attached the
+    # defense may emit events (RRS reports `rrs.swap`). Mitigations
+    # must treat the tracer as write-only telemetry — tracing can never
+    # change what a defense decides, so traced and untraced runs stay
+    # bit-identical. None (the default) costs one attribute test.
+    tracer = None
+
     def route(self, bank_key: BankKey, row: int) -> int:
         """Map a logical row to the physical row to access."""
         return row

@@ -1,0 +1,69 @@
+"""``repro.obs`` — observability: tracing, metrics, exporters.
+
+Three pillars (DESIGN.md §7):
+
+* :mod:`repro.obs.tracer` — near-zero-overhead-when-disabled structured
+  event tracing (``dram.cmd``, ``rrs.swap``, ``mitigation``,
+  ``refresh``, ``attack``, ``exec``) with ring-buffer or JSONL sinks,
+  enabled via ``REPRO_TRACE``/``--trace`` or an explicit
+  :class:`Observability` object;
+* :mod:`repro.obs.metrics` — a hierarchical metrics registry (counters,
+  gauges, histograms, per-window series) serialized into
+  ``SimMetrics.extra`` on request;
+* :mod:`repro.obs.perfetto` / :mod:`repro.obs.timeline` — exporters:
+  Chrome/Perfetto trace-event JSON and a text timeline summary.
+
+The cardinal invariant: observation never perturbs simulation. Probes
+only read simulator state, and ``tests/obs`` asserts traced and
+untraced runs produce bit-identical :class:`SimMetrics`.
+"""
+
+from repro.obs.install import Observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.perfetto import (
+    to_trace_events,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.progress import SweepProgress
+from repro.obs.timeline import render_timeline
+from repro.obs.tracer import (
+    CATEGORIES,
+    JsonlSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    parse_categories,
+    read_jsonl,
+    tracer_from_env,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observability",
+    "RingSink",
+    "Series",
+    "SweepProgress",
+    "TraceEvent",
+    "Tracer",
+    "parse_categories",
+    "read_jsonl",
+    "render_timeline",
+    "to_trace_events",
+    "tracer_from_env",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]

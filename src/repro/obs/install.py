@@ -1,0 +1,366 @@
+"""Wires observability into a :class:`~repro.mem.system.SystemSimulator`.
+
+:class:`Observability` bundles a :class:`~repro.obs.tracer.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry` and installs read-only
+probes on every layer of the memory system:
+
+* per-bank command observers (chained onto the
+  :class:`~repro.dram.timing.BankTimingState` observer hook) for the
+  ``dram.cmd`` category and per-bank ACT accounting;
+* a request-completion hook on every
+  :class:`~repro.mem.controller.MemoryController` feeding the
+  read-latency histogram, per-bank row-buffer hit counters, and
+  ``exec`` request-lifetime events;
+* mitigation hooks: throttle delays, victim refreshes, channel blocks
+  (``mitigation``) and the RRS swap stream (``rrs.swap``, emitted by
+  :class:`~repro.core.rrs.RandomizedRowSwap` through the tracer slot on
+  :class:`~repro.mitigations.base.Mitigation`);
+* refresh-burst and refresh-window probes on the
+  :class:`~repro.dram.refresh.RefreshScheduler` (``refresh``) that also
+  snapshot the per-window swap/refresh/throttle time series.
+
+The invariant enforced by construction: every probe only *reads*
+simulator state and writes to obs-private storage, so an instrumented
+run produces bit-identical :class:`~repro.mem.metrics.SimMetrics`
+(asserted by ``tests/obs/test_obs_determinism.py``).
+
+``export_extra`` controls whether :meth:`finalize` serializes the
+registry into ``SimMetrics.extra["obs"]``. It defaults to off for
+env-driven tracing so sweep results stored in the shared cache stay
+byte-identical to untraced runs; the ``repro trace`` CLI turns it on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BOUNDS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Tracer, tracer_from_env
+
+_ENV_EXTRA = "REPRO_TRACE_EXTRA"
+
+BankKey = Tuple[int, int, int]
+
+
+def _bank_label(bank_key: BankKey) -> str:
+    channel, rank, bank = bank_key
+    return f"ch{channel}.rk{rank}.bk{bank}"
+
+
+class Observability:
+    """Tracer + metrics registry, installable on one system simulator."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+        export_extra: bool = True,
+    ) -> None:
+        self.tracer = tracer
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.export_extra = export_extra
+        self.installed = False
+        self._simulator = None
+        # Per-bank logical-ACT counts (physical row -> count), feeding
+        # the acts-per-row histogram at finalize time.
+        self._row_acts: Dict[BankKey, Dict[int, int]] = {}
+        # Totals at the last window boundary, for per-window deltas.
+        self._marks = {
+            "swaps": 0,
+            "victim_refreshes": 0,
+            "throttle_delay_ns": 0.0,
+            "activations": 0,
+            "accesses": 0,
+            "refresh_bursts": 0,
+        }
+        self._read_latency = self.registry.histogram("latency.read_ns")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["Observability"]:
+        """Env-driven observability (``REPRO_TRACE=...``); None when off.
+
+        ``REPRO_TRACE_EXTRA=1`` additionally exports the registry into
+        ``SimMetrics.extra`` — off by default so results cached during a
+        traced sweep stay byte-identical to untraced ones.
+        """
+        env = os.environ if environ is None else environ
+        tracer = tracer_from_env(env)
+        if tracer is None:
+            return None
+        return cls(tracer=tracer, export_extra=env.get(_ENV_EXTRA, "0") == "1")
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, simulator) -> "Observability":
+        """Attach every probe to ``simulator``; returns self."""
+        if self.installed:
+            raise RuntimeError("Observability is already installed on a simulator")
+        self.installed = True
+        self._simulator = simulator
+
+        from repro.dram.timing import chain_observer
+
+        for channel in simulator.channels:
+            for rank_index, rank in enumerate(channel.ranks):
+                for bank in rank.banks:
+                    bank_key = (channel.index, rank_index, bank.index)
+                    chain_observer(bank.timing, self._bank_probe(bank_key))
+
+        for controller in simulator.controllers:
+            controller.obs = self
+
+        refresh = simulator.refresh
+        self._chain_refresh_observer(refresh)
+        refresh.window_callbacks.append(self._on_window_end)
+
+        mitigation = simulator.mitigation
+        mitigation.tracer = self.tracer
+        if hasattr(mitigation, "engine_observer"):
+            mitigation.engine_observer = self._on_swap_op
+            for engine in getattr(mitigation, "_engines", {}).values():
+                engine.observer = self._on_swap_op
+        return self
+
+    def _bank_probe(self, bank_key: BankKey):
+        """Command observer for one bank (tracer + per-bank counters)."""
+        tracer = self.tracer
+        label = _bank_label(bank_key)
+        acts: Dict[int, int] = {}
+        self._row_acts[bank_key] = acts
+        act_counter = self.registry.counter(f"dram.{label}.act")
+        kind_counters = {
+            kind: self.registry.counter(f"dram.cmd.{kind.lower()}")
+            for kind in ("ACT", "PRE", "CAS")
+        }
+        track = ("bank",) + bank_key
+
+        def probe(kind: str, row: int, time_ns: float) -> None:
+            counter = kind_counters.get(kind)
+            if counter is not None:
+                counter.inc()
+            if kind == "ACT":
+                act_counter.inc()
+                acts[row] = acts.get(row, 0) + 1
+            if tracer is not None and tracer.wants("dram.cmd"):
+                tracer.emit(
+                    "dram.cmd", kind, time_ns, track=track, args={"row": row}
+                )
+
+        return probe
+
+    def _chain_refresh_observer(self, refresh) -> None:
+        existing = refresh.observer
+        probe = self._on_refresh_burst
+
+        if existing is None:
+            refresh.observer = probe
+        else:
+
+            def chained(start_ns: float, bursts: int) -> None:
+                existing(start_ns, bursts)
+                probe(start_ns, bursts)
+
+            refresh.observer = chained
+
+    # ------------------------------------------------------------------
+    # Probes (called from the instrumented hot paths)
+    # ------------------------------------------------------------------
+    def on_request(self, request) -> None:
+        """One serviced memory request (called by the controller)."""
+        decoded = request.decoded
+        label = _bank_label(decoded.bank_key)
+        if request.is_write:
+            self.registry.counter(f"controller.ch{decoded.channel}.writes").inc()
+            name = "W"
+        else:
+            self.registry.counter(f"controller.ch{decoded.channel}.reads").inc()
+            self._read_latency.observe(request.completion_ns - request.arrival_ns)
+            name = "R"
+        self.registry.counter(f"bank.{label}.accesses").inc()
+        if request.row_buffer_hit:
+            self.registry.counter(f"bank.{label}.row_hits").inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("exec"):
+            tracer.complete(
+                "exec",
+                name,
+                request.arrival_ns,
+                max(request.completion_ns - request.arrival_ns, 0.0),
+                track=("core", request.core_id),
+                args={
+                    "row": decoded.row,
+                    "physical_row": request.physical_row,
+                    "bank": list(decoded.bank_key),
+                    "hit": request.row_buffer_hit,
+                },
+            )
+
+    def on_throttle(
+        self, bank_key: BankKey, row: int, now_ns: float, delay_ns: float
+    ) -> None:
+        """A pre-activation throttle stall (BlockHammer-style)."""
+        self.registry.counter("mitigation.throttle.events").inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("mitigation"):
+            tracer.complete(
+                "mitigation",
+                "throttle",
+                now_ns,
+                delay_ns,
+                track=("chan", bank_key[0]),
+                args={"row": row, "bank": list(bank_key)},
+            )
+
+    def on_mitigation(self, action, bank_key: BankKey, now_ns: float) -> None:
+        """One applied :class:`MitigationOutcome` (non-noop)."""
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.wants("mitigation")
+        track = ("bank",) + bank_key
+        if action.refresh_rows:
+            self.registry.counter("mitigation.victim_refreshes").inc(
+                len(action.refresh_rows)
+            )
+            if trace_on:
+                tracer.emit(
+                    "mitigation",
+                    "victim_refresh",
+                    now_ns,
+                    track=track,
+                    args={"rows": list(action.refresh_rows)},
+                )
+        if action.channel_block_ns > 0.0:
+            self.registry.counter("mitigation.channel_blocks").inc()
+            if trace_on:
+                tracer.complete(
+                    "mitigation",
+                    "swap_block",
+                    now_ns,
+                    action.channel_block_ns,
+                    track=("chan", bank_key[0]),
+                    args={"bank": list(bank_key)},
+                )
+        if action.refresh_all_bank:
+            self.registry.counter("mitigation.preemptive_bank_refreshes").inc()
+            if trace_on:
+                tracer.emit("mitigation", "refresh_all_bank", now_ns, track=track)
+
+    def _on_swap_op(self, op, latency_ns: float) -> None:
+        """One physical row exchange executed by a swap engine."""
+        self.registry.counter(f"rrs.ops.{op.kind}").inc()
+
+    def _on_refresh_burst(self, start_ns: float, bursts: int) -> None:
+        self.registry.counter("refresh.bursts").inc(bursts)
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("refresh"):
+            simulator = self._simulator
+            t_rfc = simulator.config.dram.t_rfc if simulator is not None else 0.0
+            tracer.complete(
+                "refresh",
+                "refresh_burst",
+                start_ns,
+                bursts * t_rfc,
+                track=("sys", "refresh"),
+                args={"bursts": bursts},
+            )
+
+    def _on_window_end(self, window_index: int) -> None:
+        """Refresh-window boundary: snapshot the per-window series."""
+        self._snapshot_window(window_index, partial=False)
+
+    def _snapshot_window(self, window_index: int, partial: bool) -> None:
+        simulator = self._simulator
+        if simulator is None:
+            return
+        totals = {
+            "swaps": 0,
+            "victim_refreshes": 0,
+            "throttle_delay_ns": 0.0,
+            "activations": 0,
+            "accesses": 0,
+        }
+        for controller in simulator.controllers:
+            stats = controller.stats
+            totals["swaps"] += stats.swaps
+            totals["victim_refreshes"] += stats.victim_refreshes
+            totals["throttle_delay_ns"] += stats.throttle_delay_ns
+            totals["activations"] += stats.activations
+            totals["accesses"] += stats.accesses
+        totals["refresh_bursts"] = simulator.refresh.refresh_bursts
+        for name in sorted(totals):
+            delta = totals[name] - self._marks[name]
+            self.registry.series(f"window.{name}").append(delta)
+            self._marks[name] = totals[name]
+        tracer = self.tracer
+        if not partial and tracer is not None and tracer.wants("refresh"):
+            window_ns = simulator.config.dram.refresh_window_ns
+            tracer.complete(
+                "refresh",
+                f"window {window_index}",
+                window_index * window_ns,
+                window_ns,
+                track=("sys", "windows"),
+                args={"window": window_index},
+            )
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, metrics, simulator) -> None:
+        """Fold end-of-run aggregates into the registry and, when
+        ``export_extra`` is set, into ``metrics.extra["obs"]``."""
+        # Tail of the run since the last completed window (partial).
+        if any(
+            controller.stats.accesses for controller in simulator.controllers
+        ):
+            self._snapshot_window(simulator.refresh.windows_completed, partial=True)
+
+        acts_hist = self.registry.histogram(
+            "dram.acts_per_row", DEFAULT_COUNT_BOUNDS
+        )
+        for bank_key in sorted(self._row_acts):
+            acts = self._row_acts[bank_key]
+            for row in sorted(acts):
+                acts_hist.observe(float(acts[row]))
+
+        for controller in simulator.controllers:
+            stats = controller.stats
+            self.registry.gauge(
+                f"controller.ch{controller.channel.index}.row_hit_rate"
+            ).set(stats.row_buffer_hit_rate)
+        self.registry.gauge("run.sim_time_ns").set(metrics.sim_time_ns)
+        self.registry.gauge("run.windows").set(float(metrics.windows))
+        self.registry.gauge("run.ipc").set(metrics.ipc)
+
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "exec",
+                "run",
+                0.0,
+                metrics.sim_time_ns,
+                track=("sys", "run"),
+                args={
+                    "workload": metrics.workload,
+                    "mitigation": metrics.mitigation,
+                },
+            )
+            tracer.flush()
+        if self.export_extra:
+            extra: Dict[str, Any] = {"metrics": self.registry.to_dict()}
+            if tracer is not None:
+                extra["trace"] = {
+                    "emitted": tracer.emitted,
+                    "dropped": tracer.dropped,
+                }
+            metrics.extra["obs"] = extra
+
+    def close(self) -> None:
+        """Release the tracer's sink (flushes a JSONL file)."""
+        if self.tracer is not None:
+            self.tracer.close()

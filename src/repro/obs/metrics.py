@@ -1,0 +1,225 @@
+"""Hierarchical metrics registry: counters, gauges, histograms, series.
+
+Probes accumulate into named metrics (dotted names form the hierarchy:
+``controller.ch0.reads``); :meth:`MetricsRegistry.to_dict` renders the
+whole registry as a nested plain-data tree that the system simulator
+attaches under ``SimMetrics.extra["obs"]`` when export is requested.
+
+Everything here is observational: metrics read simulator state, never
+feed back into it, and the registry's serialization is deterministic
+(sorted names, fixed bucket bounds) so traced runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# Read-latency bucket upper bounds in ns (final bucket is overflow).
+DEFAULT_LATENCY_BOUNDS_NS: Tuple[float, ...] = (
+    25.0,
+    50.0,
+    75.0,
+    100.0,
+    150.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+)
+
+# ACTs-per-row bucket upper bounds (hot-row skew; final is overflow).
+DEFAULT_COUNT_BOUNDS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1_024.0,
+)
+
+
+class Counter:
+    """Monotonic count (events, commands, swaps)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (rates, utilizations, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket is
+    appended automatically. Bounds are fixed at creation so two runs of
+    the same configuration always serialize identically.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted non-empty list")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_value(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Series:
+    """Append-only time series (one value per refresh window)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def append(self, value: float) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_value(self) -> List[float]:
+        return list(self.values)
+
+
+class MetricsRegistry:
+    """Lazily-created named metrics with hierarchical serialization.
+
+    Names are dotted paths; a name must consistently identify one
+    metric kind (requesting ``counter("x")`` after ``gauge("x")``
+    raises), and a path segment cannot be both a leaf and a subtree.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            self._check_path(name)
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def _check_path(self, name: str) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        for existing in self._metrics:
+            if existing.startswith(name + ".") or name.startswith(existing + "."):
+                raise ValueError(
+                    f"metric name {name!r} collides with existing "
+                    f"{existing!r} (a path cannot be both leaf and subtree)"
+                )
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_NS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series, lambda: Series(name))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-data tree keyed by dotted-name segments."""
+        tree: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = metric.to_value()  # type: ignore[attr-defined]
+        return tree

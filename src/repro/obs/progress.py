@@ -1,0 +1,106 @@
+"""Live sweep progress: per-point heartbeat and per-worker aggregation.
+
+:class:`SweepProgress` is the reporter
+:class:`~repro.exec.runner.SweepRunner` drives when progress output is
+requested (``progress=True`` or ``REPRO_PROGRESS=1``): one heartbeat
+line per finished point (cache-hit/simulated counts plus an ETA
+extrapolated from completed simulation times), and a final summary
+aggregating the work each worker process did back in the parent.
+
+Progress writes to ``stderr`` so sweep output and result tables on
+``stdout`` stay machine-readable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class SweepProgress:
+    """Heartbeat reporter for one :meth:`SweepRunner.run` call."""
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        label: str = "",
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.cached = 0
+        self.simulated = 0
+        self._sim_seconds = 0.0
+        # worker pid -> (points completed, worker-measured seconds)
+        self.per_worker: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    def _prefix(self) -> str:
+        return f"[sweep{':' + self.label if self.label else ''}]"
+
+    def _emit(self, text: str) -> None:
+        print(f"{self._prefix()} {text}", file=self.stream, flush=True)
+
+    def _eta_seconds(self) -> float:
+        if not self.simulated:
+            return 0.0
+        per_point = self._sim_seconds / self.simulated
+        remaining = self.total - self.done
+        return per_point * remaining / self.jobs
+
+    # ------------------------------------------------------------------
+    def cache_hits(self, count: int) -> None:
+        """Record points served from the result cache (no simulation)."""
+        if count <= 0:
+            return
+        self.cached += count
+        self.done += count
+        self._emit(
+            f"{self.done}/{self.total} points "
+            f"({self.cached} cached, {self.simulated} simulated)"
+        )
+
+    def point_done(
+        self,
+        description: str,
+        seconds: float,
+        worker: Optional[int] = None,
+    ) -> None:
+        """Heartbeat: one freshly simulated point completed."""
+        self.simulated += 1
+        self.done += 1
+        self._sim_seconds += seconds
+        if worker is not None:
+            entry = self.per_worker.setdefault(worker, [0, 0.0])
+            entry[0] += 1
+            entry[1] += seconds
+        remaining = self.total - self.done
+        eta = f", eta ~{_format_eta(self._eta_seconds())}" if remaining else ""
+        self._emit(
+            f"{self.done}/{self.total} points "
+            f"({self.cached} cached, {self.simulated} simulated) "
+            f"last={description} {seconds:.1f}s{eta}"
+        )
+
+    def finish(self, wall_seconds: float) -> None:
+        """Final line(s): totals plus per-worker aggregation."""
+        self._emit(
+            f"done: {self.total} points in {wall_seconds:.1f}s "
+            f"({self.cached} cached, {self.simulated} simulated, "
+            f"jobs={self.jobs})"
+        )
+        for worker in sorted(self.per_worker):
+            points, seconds = self.per_worker[worker]
+            self._emit(f"  worker {worker}: {points} point(s), {seconds:.1f}s")

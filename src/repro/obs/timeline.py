@@ -1,0 +1,111 @@
+"""Text timeline summarizer for traced runs.
+
+Renders the tracer's event stream as a terminal-friendly report: a
+per-category census, a bucketed activity timeline (ACTs, row-buffer
+misses, swaps, refreshes, throttles per time slice), and the first few
+swap events in detail. This is the quick look before opening the full
+Perfetto export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.obs.tracer import TraceEvent
+
+_BUCKET_COLUMNS = ("ACT", "CAS", "PRE", "swap", "refresh", "throttle", "req")
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [_format_row(headers, widths)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def _classify(event: TraceEvent) -> str:
+    if event.category == "dram.cmd":
+        return event.name  # ACT / CAS / PRE
+    if event.category == "rrs.swap":
+        return "swap"
+    if event.category == "refresh":
+        return "refresh"
+    if event.category == "mitigation":
+        return "throttle" if event.name == "throttle" else "refresh"
+    if event.category == "exec" and event.name in ("R", "W"):
+        return "req"
+    return ""
+
+
+def render_timeline(
+    events: Sequence[TraceEvent],
+    buckets: int = 12,
+    swap_detail: int = 8,
+) -> str:
+    """Human-readable timeline summary of a traced run."""
+    if not events:
+        return "timeline: no events recorded"
+
+    by_category: Dict[str, int] = {}
+    span_start = min(event.ts_ns for event in events)
+    span_end = max(event.ts_ns + event.dur_ns for event in events)
+    for event in events:
+        by_category[event.category] = by_category.get(event.category, 0) + 1
+
+    lines = [
+        f"timeline: {len(events)} events over "
+        f"{(span_end - span_start) / 1000.0:.1f} us",
+        "  "
+        + ", ".join(
+            f"{category}={count}" for category, count in sorted(by_category.items())
+        ),
+        "",
+    ]
+
+    width_ns = max(span_end - span_start, 1.0) / buckets
+    counts = [
+        {column: 0 for column in _BUCKET_COLUMNS} for _ in range(buckets)
+    ]
+    for event in events:
+        column = _classify(event)
+        if not column:
+            continue
+        index = min(int((event.ts_ns - span_start) / width_ns), buckets - 1)
+        counts[index][column] += 1
+    rows: List[Sequence[str]] = []
+    for index, bucket in enumerate(counts):
+        start_us = (span_start + index * width_ns) / 1000.0
+        rows.append(
+            [f"{start_us:.1f}"] + [str(bucket[column]) for column in _BUCKET_COLUMNS]
+        )
+    lines.append(_table(["t (us)", *_BUCKET_COLUMNS], rows))
+
+    swaps = [event for event in events if event.category == "rrs.swap"]
+    if swaps:
+        lines.append("")
+        lines.append(f"first {min(swap_detail, len(swaps))} of {len(swaps)} swaps:")
+        for event in swaps[:swap_detail]:
+            args = event.args or {}
+            track = event.track
+            bank = (
+                f"ch{track[1]}.rk{track[2]}.bk{track[3]}"
+                if len(track) == 4
+                else str(track)
+            )
+            lines.append(
+                f"  t={event.ts_ns / 1000.0:10.2f}us  {bank}  "
+                f"row {args.get('row', '?')} -> {args.get('destination', '?')}  "
+                f"(ops={args.get('ops', '?')}, "
+                f"blocked={args.get('blocked_ns', 0.0):.0f}ns)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,348 @@
+"""Structured event tracer: the ``repro.obs`` event stream.
+
+A :class:`Tracer` receives :class:`TraceEvent` records from read-only
+probes threaded through the memory system (see
+:mod:`repro.obs.install`) and hands them to a sink — a bounded
+in-memory ring (:class:`RingSink`) or a streaming JSONL file
+(:class:`JsonlSink`). Exporters (:mod:`repro.obs.perfetto`,
+:mod:`repro.obs.timeline`) consume the collected events after the run.
+
+Overhead policy
+---------------
+Tracing must cost (near) nothing when off. Every instrumented hot path
+guards with a single ``is None`` attribute test on the component's
+``obs``/``tracer`` slot — no tracer object exists unless observability
+was explicitly installed, so the disabled cost is one load + branch.
+When tracing *is* on, category filtering happens in :meth:`Tracer.wants`
+before any event object is built.
+
+Categories
+----------
+``dram.cmd``    per-bank ACT/PRE/CAS command instants
+``rrs.swap``    row-swap decisions (logical row, destination, ops)
+``mitigation``  victim refreshes, throttle delays, channel blocks
+``refresh``     tREFI bursts and refresh-window (epoch) frames
+``attack``      attack-harness hammer rounds and bit flips
+``exec``        request lifetimes, scheduler queues, run bounds
+
+Environment opt-in (read by ``SystemSimulator`` when no explicit
+``obs`` object is passed):
+
+* ``REPRO_TRACE``         — ``1``/``all`` or a comma list of categories
+* ``REPRO_TRACE_FILE``    — JSONL output path (default
+  ``repro-trace.jsonl``; only used when ``REPRO_TRACE_SINK=jsonl``)
+* ``REPRO_TRACE_SINK``    — ``jsonl`` (default) or ``ring``
+* ``REPRO_TRACE_BUFFER``  — ring capacity (default 1,000,000 events)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+CATEGORIES: Tuple[str, ...] = (
+    "dram.cmd",
+    "rrs.swap",
+    "mitigation",
+    "refresh",
+    "attack",
+    "exec",
+)
+
+_ENV_TRACE = "REPRO_TRACE"
+_ENV_FILE = "REPRO_TRACE_FILE"
+_ENV_SINK = "REPRO_TRACE_SINK"
+_ENV_BUFFER = "REPRO_TRACE_BUFFER"
+
+DEFAULT_TRACE_FILE = "repro-trace.jsonl"
+DEFAULT_RING_CAPACITY = 1_000_000
+
+# Event phases, mirroring the Chrome trace-event vocabulary the
+# Perfetto exporter emits: instant, complete (has a duration), counter.
+PHASE_INSTANT = "I"
+PHASE_COMPLETE = "X"
+PHASE_COUNTER = "C"
+
+
+class TraceEvent:
+    """One observed event.
+
+    ``track`` locates the event on the timeline display: a tuple such
+    as ``("bank", channel, rank, bank)``, ``("core", core_id)``,
+    ``("chan", channel)`` or ``("sys", "refresh")``. ``ts_ns`` is
+    simulated time; ``dur_ns`` is nonzero only for complete events.
+    """
+
+    __slots__ = ("category", "name", "ts_ns", "dur_ns", "track", "args", "phase")
+
+    def __init__(
+        self,
+        category: str,
+        name: str,
+        ts_ns: float,
+        track: Tuple = ("sys", "run"),
+        dur_ns: float = 0.0,
+        args: Optional[Dict[str, Any]] = None,
+        phase: str = PHASE_INSTANT,
+    ) -> None:
+        self.category = category
+        self.name = name
+        self.ts_ns = ts_ns
+        self.dur_ns = dur_ns
+        self.track = track
+        self.args = args
+        self.phase = phase
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view (the JSONL line format)."""
+        out: Dict[str, Any] = {
+            "cat": self.category,
+            "name": self.name,
+            "ts": self.ts_ns,
+            "track": list(self.track),
+            "ph": self.phase,
+        }
+        if self.dur_ns:
+            out["dur"] = self.dur_ns
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.category!r}, {self.name!r}, ts={self.ts_ns}, "
+            f"track={self.track})"
+        )
+
+
+class RingSink:
+    """Bounded in-memory sink: keeps the most recent ``capacity`` events.
+
+    ``dropped`` counts events that fell off the front of the ring, so
+    exporters can say a trace is truncated instead of silently showing
+    a partial run.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.received = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self.received += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.received - len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def flush(self) -> None:
+        """Nothing buffered outside the ring."""
+
+    def close(self) -> None:
+        """Rings hold no external resources."""
+
+
+class JsonlSink:
+    """Streaming sink: one JSON object per line, append-only.
+
+    Suited to long runs whose event volume exceeds any sensible ring:
+    the Perfetto exporter can rebuild a trace from the file afterwards
+    via :func:`read_jsonl`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w")
+        self.received = 0
+        self.dropped = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self.received += 1
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Events re-read from the file (flushes first)."""
+        self.flush()
+        return read_jsonl(self.path)
+
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Parse a JSONL trace file back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(
+                TraceEvent(
+                    category=data["cat"],
+                    name=data["name"],
+                    ts_ns=data["ts"],
+                    track=tuple(data.get("track", ("sys", "run"))),
+                    dur_ns=data.get("dur", 0.0),
+                    args=data.get("args"),
+                    phase=data.get("ph", PHASE_INSTANT),
+                )
+            )
+    return events
+
+
+class Tracer:
+    """Category-filtered event recorder.
+
+    ``categories=None`` records everything. Probes should ask
+    :meth:`wants` (or use the guard idiom) before building event
+    arguments, so filtered-out categories never allocate.
+    """
+
+    __slots__ = ("sink", "categories", "enabled", "emitted")
+
+    def __init__(
+        self,
+        sink: Optional[RingSink] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else RingSink()
+        if categories is None:
+            self.categories = None
+        else:
+            chosen = frozenset(categories)
+            unknown = chosen - set(CATEGORIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"valid: {', '.join(CATEGORIES)}"
+                )
+            self.categories = chosen
+        self.enabled = True
+        self.emitted = 0
+
+    def wants(self, category: str) -> bool:
+        """True when events of ``category`` are being recorded."""
+        if not self.enabled:
+            return False
+        return self.categories is None or category in self.categories
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        ts_ns: float,
+        track: Tuple = ("sys", "run"),
+        dur_ns: float = 0.0,
+        args: Optional[Dict[str, Any]] = None,
+        phase: str = PHASE_INSTANT,
+    ) -> None:
+        """Record one event (drops it when the category is filtered)."""
+        if not self.wants(category):
+            return
+        self.emitted += 1
+        self.sink.write(
+            TraceEvent(
+                category=category,
+                name=name,
+                ts_ns=ts_ns,
+                track=track,
+                dur_ns=dur_ns,
+                args=args,
+                phase=phase,
+            )
+        )
+
+    def complete(
+        self,
+        category: str,
+        name: str,
+        ts_ns: float,
+        dur_ns: float,
+        track: Tuple = ("sys", "run"),
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a duration-carrying (complete) event."""
+        self.emit(
+            category,
+            name,
+            ts_ns,
+            track=track,
+            dur_ns=dur_ns,
+            args=args,
+            phase=PHASE_COMPLETE,
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The sink's retained events."""
+        return self.sink.events
+
+    @property
+    def dropped(self) -> int:
+        return self.sink.dropped
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def parse_categories(spec: str) -> Optional[frozenset]:
+    """Parse a ``REPRO_TRACE``/``--categories`` value.
+
+    ``"1"``/``"all"``/``"*"`` mean every category (returns None, the
+    Tracer's "no filter" encoding); otherwise a comma-separated list.
+    """
+    spec = spec.strip()
+    if spec in ("1", "all", "*"):
+        return None
+    chosen = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    unknown = chosen - set(CATEGORIES)
+    if unknown:
+        raise ValueError(
+            f"unknown trace categories {sorted(unknown)}; "
+            f"valid: {', '.join(CATEGORIES)}"
+        )
+    if not chosen:
+        return None
+    return chosen
+
+
+def tracer_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[Tracer]:
+    """Build a tracer from ``REPRO_TRACE*`` env vars; None when off."""
+    env = os.environ if environ is None else environ
+    spec = env.get(_ENV_TRACE, "")
+    if not spec or spec == "0":
+        return None
+    categories = parse_categories(spec)
+    sink_kind = env.get(_ENV_SINK, "jsonl")
+    if sink_kind == "ring":
+        capacity = int(env.get(_ENV_BUFFER, str(DEFAULT_RING_CAPACITY)))
+        sink: RingSink = RingSink(capacity)
+    elif sink_kind == "jsonl":
+        sink = JsonlSink(env.get(_ENV_FILE, DEFAULT_TRACE_FILE))
+    else:
+        raise ValueError(
+            f"unknown {_ENV_SINK} value {sink_kind!r} (expected 'jsonl' or 'ring')"
+        )
+    return Tracer(sink=sink, categories=categories)

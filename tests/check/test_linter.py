@@ -210,3 +210,35 @@ def test_syntax_error_raises_value_error(tmp_path):
     bad.write_text("def f(:\n")
     with pytest.raises(ValueError, match="cannot lint"):
         lint_paths([bad])
+
+
+class TestPrintRule:
+    def test_print_flagged_in_each_silent_package(self):
+        for package in ("mem", "dram", "core", "mitigations", "track"):
+            assert "RRS009" in _rules(
+                "print('x')\n", path=f"src/repro/{package}/example.py"
+            ), package
+
+    def test_print_allowed_outside_silent_packages(self):
+        for path in (
+            "src/repro/analysis/report.py",
+            "src/repro/cli.py",
+            "src/repro/attacks/base.py",
+            "src/repro/workloads/suites.py",
+        ):
+            assert "RRS009" not in _rules("print('x')\n", path=path), path
+
+    def test_print_suppressible_with_justification(self):
+        source = "print('x')  # repro-check: RRS009 -- one-shot debug aid\n"
+        assert _rules(source, path="src/repro/dram/example.py") == set()
+
+    def test_shadowed_print_attribute_not_flagged(self):
+        # Only the bare builtin is banned; method calls named 'print'
+        # on other objects are fine.
+        source = "def f(printer):\n    printer.print('x')\n"
+        assert "RRS009" not in _rules(source, path="src/repro/mem/example.py")
+
+    def test_core_package_is_linted(self):
+        from repro.check.linter import TARGET_PACKAGES
+
+        assert "core" in TARGET_PACKAGES

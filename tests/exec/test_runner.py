@@ -149,3 +149,70 @@ def test_runner_jobs_argument_overrides_env(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "6")
     assert SweepRunner(jobs=2, use_cache=False).jobs == 2
     assert SweepRunner(use_cache=False).jobs == 6
+
+
+# ----------------------------------------------------------------------
+# Missing-result detection and progress reporting
+# ----------------------------------------------------------------------
+class _BrokenRunner(SweepRunner):
+    """Runner whose execution stage loses every result."""
+
+    def _execute(self, points, reporter=None):
+        return [None for _ in points]
+
+
+def test_missing_result_raises_identifying_the_point(tmp_path):
+    runner = _BrokenRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    with pytest.raises(RuntimeError) as excinfo:
+        runner.run([_point(workload="hmmer")], label="fig6")
+    message = str(excinfo.value)
+    assert "hmmer/none@1/32" in message
+    assert "fig6" in message
+    assert "1 of 1" in message
+
+
+def test_missing_result_counts_every_missing_point(tmp_path):
+    runner = _BrokenRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    points = [_point(workload=name) for name in ("stream", "hmmer")]
+    with pytest.raises(RuntimeError, match=r"2 of 2.*stream/none@1/32"):
+        runner.run(points)
+
+
+def test_parallel_results_preserve_input_order(tmp_path):
+    names = ["stream", "gromacs", "hmmer", "mcf"]
+    points = [_point(workload=name) for name in names]
+    runner = SweepRunner(jobs=2, cache=ResultCache(root=tmp_path))
+    results = runner.run(points)
+    assert [metrics.workload for metrics in results] == names
+
+
+def test_progress_heartbeat_and_summary(tmp_path, capsys):
+    points = [_point(), _point(seed=5)]
+    runner = SweepRunner(
+        jobs=1, cache=ResultCache(root=tmp_path), progress=True
+    )
+    runner.run(points, label="demo")
+    err = capsys.readouterr().err
+    assert "[sweep:demo] 1/2 points (0 cached, 1 simulated)" in err
+    assert "[sweep:demo] 2/2 points (0 cached, 2 simulated)" in err
+    assert "done: 2 points" in err
+
+    again = SweepRunner(
+        jobs=1, cache=ResultCache(root=tmp_path), progress=True
+    )
+    again.run(points, label="demo")
+    err = capsys.readouterr().err
+    assert "2/2 points (2 cached, 0 simulated)" in err
+
+
+def test_progress_defaults_from_env(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    assert SweepRunner(jobs=1, cache=ResultCache(root=tmp_path)).progress is False
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    assert SweepRunner(jobs=1, cache=ResultCache(root=tmp_path)).progress is True
+
+
+def test_progress_silent_by_default(tmp_path, capsys):
+    runner = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    runner.run([_point()])
+    assert capsys.readouterr().err == ""

@@ -56,6 +56,7 @@ def _fully_populated_metrics() -> SimMetrics:
         windows=3,
         swap_history=[5, 7, 5],
         bit_flips=2,
+        extra={"obs": {"metrics": {"run": {"ipc": 1.5}}}},
     )
 
 

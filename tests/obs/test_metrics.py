@@ -1,0 +1,107 @@
+"""Metrics registry: metric semantics, name hierarchy, serialization."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+# ----------------------------------------------------------------------
+# Individual metrics
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.to_value() == 5
+
+
+def test_gauge_keeps_last_value():
+    gauge = Gauge("g")
+    gauge.set(1.5)
+    gauge.set(0.25)
+    assert gauge.to_value() == 0.25
+
+
+def test_histogram_buckets_and_stats():
+    hist = Histogram("h", bounds=[10.0, 20.0, 30.0])
+    for value in (5.0, 15.0, 25.0, 100.0):
+        hist.observe(value)
+    data = hist.to_value()
+    assert data["counts"] == [1, 1, 1, 1]  # last bucket = overflow
+    assert data["count"] == 4
+    assert data["sum"] == 145.0
+    assert data["mean"] == pytest.approx(36.25)
+    assert data["min"] == 5.0
+    assert data["max"] == 100.0
+
+
+def test_histogram_boundary_value_lands_in_lower_bucket():
+    hist = Histogram("h", bounds=[10.0, 20.0])
+    hist.observe(10.0)
+    assert hist.to_value()["counts"] == [1, 0, 0]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=[20.0, 10.0])
+
+
+def test_series_appends_in_order():
+    series = Series("s")
+    for value in (3.0, 1.0, 2.0):
+        series.append(value)
+    assert series.to_value() == [3.0, 1.0, 2.0]
+    assert len(series) == 3
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_returns_same_metric_for_same_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a.b") is registry.counter("a.b")
+    assert len(registry) == 1
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x")
+
+
+def test_registry_rejects_leaf_subtree_collision():
+    registry = MetricsRegistry()
+    registry.counter("dram.acts")
+    with pytest.raises(ValueError, match="leaf and subtree"):
+        registry.counter("dram.acts.act")
+    with pytest.raises(ValueError, match="leaf and subtree"):
+        registry.counter("dram")
+
+
+def test_registry_to_dict_nests_by_dotted_name():
+    registry = MetricsRegistry()
+    registry.counter("controller.ch0.reads").inc(3)
+    registry.counter("controller.ch1.reads").inc(1)
+    registry.gauge("run.ipc").set(2.5)
+    tree = registry.to_dict()
+    assert tree["controller"]["ch0"]["reads"] == 3
+    assert tree["controller"]["ch1"]["reads"] == 1
+    assert tree["run"]["ipc"] == 2.5
+
+
+def test_registry_serialization_is_deterministic():
+    def build(order):
+        registry = MetricsRegistry()
+        for name in order:
+            registry.counter(name).inc()
+        return registry.to_dict()
+
+    names = ["b.z", "a.y", "b.a", "a.x"]
+    assert build(names) == build(list(reversed(names)))

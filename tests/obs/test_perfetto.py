@@ -1,0 +1,153 @@
+"""Perfetto export: track mapping, phases, validation, timeline text."""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import (
+    to_trace_events,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.timeline import render_timeline
+from repro.obs.tracer import TraceEvent
+
+
+def _sample_events():
+    return [
+        TraceEvent("dram.cmd", "ACT", 100.0, track=("bank", 0, 0, 1),
+                   args={"row": 7}),
+        TraceEvent("dram.cmd", "ACT", 150.0, track=("bank", 1, 0, 0),
+                   args={"row": 9}),
+        TraceEvent("exec", "R", 90.0, track=("core", 0), dur_ns=55.0,
+                   phase="X"),
+        TraceEvent("rrs.swap", "swap", 200.0, track=("bank", 0, 0, 1),
+                   args={"row": 7, "destination": 42, "ops": 1,
+                         "blocked_ns": 1460.0}),
+        TraceEvent("mitigation", "swap_block", 200.0, track=("chan", 0),
+                   dur_ns=1460.0, phase="X"),
+        TraceEvent("refresh", "refresh_burst", 7800.0, track=("sys", "refresh"),
+                   dur_ns=350.0, phase="X"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def test_export_emits_track_naming_metadata():
+    document = to_trace_events(_sample_events())
+    events = document["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in meta
+        if e["name"] == "process_name"
+    }
+    assert process_names[1] == "system"
+    assert process_names[2] == "cores"
+    assert process_names[10] == "channel 0"
+    assert process_names[11] == "channel 1"
+    thread_names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in meta
+        if e["name"] == "thread_name"
+    }
+    assert thread_names[(10, 0)] == "bus"
+    assert "rank 0 bank 1" in thread_names.values()
+    assert thread_names[(2, 1)] == "core 0"
+
+
+def test_export_converts_ns_to_us_and_phases():
+    document = to_trace_events(_sample_events())
+    events = [e for e in document["traceEvents"] if e["ph"] != "M"]
+    act = next(e for e in events if e["name"] == "ACT")
+    assert act["ts"] == pytest.approx(0.1)  # 100 ns -> 0.1 us
+    assert act["ph"] == "i"
+    assert act["s"] == "t"
+    read = next(e for e in events if e["name"] == "R")
+    assert read["ph"] == "X"
+    assert read["dur"] == pytest.approx(0.055)
+    assert document["displayTimeUnit"] == "ns"
+
+
+def test_export_synthesizes_cumulative_swap_counter():
+    events = _sample_events() + [
+        TraceEvent("rrs.swap", "swap", 300.0, track=("bank", 0, 0, 1),
+                   args={"row": 3, "destination": 8, "ops": 1,
+                         "blocked_ns": 1460.0}),
+    ]
+    document = to_trace_events(events)
+    counters = [
+        e for e in document["traceEvents"]
+        if e["ph"] == "C" and e["name"] == "swaps"
+    ]
+    assert [c["args"]["swaps"] for c in counters] == [1, 2]
+
+
+def test_export_carries_metadata():
+    document = to_trace_events(_sample_events(), metadata={"workload": "mcf"})
+    assert document["otherData"] == {"workload": "mcf"}
+
+
+def test_same_events_export_identically():
+    events = _sample_events()
+    first = json.dumps(to_trace_events(events), sort_keys=True)
+    second = json.dumps(to_trace_events(events), sort_keys=True)
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_validate_accepts_own_export():
+    assert validate_trace(to_trace_events(_sample_events())) == []
+
+
+def test_validate_rejects_malformed_documents():
+    assert validate_trace([]) != []
+    assert validate_trace({"traceEvents": []}) != []
+    bad_phase = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 0}]}
+    assert any("phase" in p for p in validate_trace(bad_phase))
+    no_dur = {
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+             "args": {"name": "p"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+             "args": {"name": "t"}},
+            {"ph": "X", "name": "slice", "pid": 1, "tid": 0, "ts": 1.0},
+        ]
+    }
+    assert any("dur" in p for p in validate_trace(no_dur))
+
+
+def test_write_trace_round_trips_through_file_validation(tmp_path):
+    path = tmp_path / "trace.json"
+    write_trace(path, _sample_events(), metadata={"workload": "mcf"})
+    document = validate_trace_file(path)
+    assert document["otherData"]["workload"] == "mcf"
+
+
+def test_validate_trace_file_raises_on_problems(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    with pytest.raises(ValueError, match="invalid trace-event JSON"):
+        validate_trace_file(path)
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        validate_trace_file(path)
+
+
+# ----------------------------------------------------------------------
+# Text timeline
+# ----------------------------------------------------------------------
+def test_timeline_reports_census_and_swap_detail():
+    text = render_timeline(_sample_events())
+    assert "dram.cmd=2" in text
+    assert "rrs.swap=1" in text
+    assert "row 7 -> 42" in text
+    assert "blocked=1460ns" in text
+
+
+def test_timeline_handles_empty_stream():
+    assert render_timeline([]) == "timeline: no events recorded"

@@ -1,0 +1,61 @@
+"""SweepProgress reporter: heartbeat lines, ETA, per-worker summary."""
+
+import io
+
+from repro.obs.progress import SweepProgress, _format_eta
+
+
+def _reporter(total, jobs=1, label=""):
+    stream = io.StringIO()
+    return SweepProgress(total, jobs=jobs, label=label, stream=stream), stream
+
+
+def test_cache_hits_advance_done_counter():
+    progress, stream = _reporter(4, label="fig6")
+    progress.cache_hits(3)
+    assert "[sweep:fig6] 3/4 points (3 cached, 0 simulated)" in stream.getvalue()
+
+
+def test_zero_cache_hits_stay_silent():
+    progress, stream = _reporter(4)
+    progress.cache_hits(0)
+    assert stream.getvalue() == ""
+
+
+def test_point_done_reports_eta_from_observed_rate():
+    progress, stream = _reporter(3, jobs=1)
+    progress.point_done("hmmer/rrs@1/128", 2.0)
+    line = stream.getvalue().strip().splitlines()[-1]
+    assert "1/3 points" in line
+    assert "last=hmmer/rrs@1/128 2.0s" in line
+    assert "eta ~4s" in line  # 2 remaining points at 2s each
+
+
+def test_eta_divides_across_jobs():
+    progress, stream = _reporter(5, jobs=2)
+    progress.point_done("a", 4.0)
+    assert "eta ~8s" in stream.getvalue()  # 4 remaining * 4s / 2 jobs
+
+
+def test_final_point_omits_eta():
+    progress, stream = _reporter(1)
+    progress.point_done("a", 1.0)
+    assert "eta" not in stream.getvalue()
+
+
+def test_finish_aggregates_per_worker():
+    progress, stream = _reporter(3, jobs=2)
+    progress.point_done("a", 1.0, worker=111)
+    progress.point_done("b", 2.0, worker=222)
+    progress.point_done("c", 3.0, worker=111)
+    progress.finish(4.5)
+    text = stream.getvalue()
+    assert "done: 3 points in 4.5s (0 cached, 3 simulated, jobs=2)" in text
+    assert "worker 111: 2 point(s), 4.0s" in text
+    assert "worker 222: 1 point(s), 2.0s" in text
+
+
+def test_format_eta_units():
+    assert _format_eta(42.0) == "42s"
+    assert _format_eta(150.0) == "2.5m"
+    assert _format_eta(7200.0) == "2.0h"

@@ -1,0 +1,146 @@
+"""Tracer core: sinks, category filtering, env opt-in, JSONL round-trip."""
+
+import pytest
+
+from repro.obs.tracer import (
+    CATEGORIES,
+    JsonlSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    parse_categories,
+    read_jsonl,
+    tracer_from_env,
+)
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+def test_event_to_dict_omits_empty_fields():
+    event = TraceEvent("dram.cmd", "ACT", 10.0, track=("bank", 0, 0, 1))
+    data = event.to_dict()
+    assert data == {
+        "cat": "dram.cmd",
+        "name": "ACT",
+        "ts": 10.0,
+        "track": ["bank", 0, 0, 1],
+        "ph": "I",
+    }
+    assert "dur" not in data and "args" not in data
+
+
+def test_event_to_dict_carries_duration_and_args():
+    event = TraceEvent(
+        "exec", "R", 5.0, dur_ns=45.0, args={"row": 3}, phase="X"
+    )
+    data = event.to_dict()
+    assert data["dur"] == 45.0
+    assert data["args"] == {"row": 3}
+    assert data["ph"] == "X"
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+def test_ring_sink_keeps_most_recent_and_counts_drops():
+    sink = RingSink(capacity=3)
+    for i in range(5):
+        sink.write(TraceEvent("exec", f"e{i}", float(i)))
+    assert sink.received == 5
+    assert sink.dropped == 2
+    assert [event.name for event in sink.events] == ["e2", "e3", "e4"]
+
+
+def test_ring_sink_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        RingSink(capacity=0)
+
+
+def test_jsonl_sink_round_trips_events(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    sink.write(TraceEvent("rrs.swap", "swap", 7.5, args={"row": 12}))
+    sink.write(TraceEvent("exec", "R", 9.0, dur_ns=40.0, phase="X"))
+    sink.close()
+
+    events = read_jsonl(path)
+    assert len(events) == 2
+    assert events[0].category == "rrs.swap"
+    assert events[0].args == {"row": 12}
+    assert events[1].dur_ns == 40.0
+    assert events[1].phase == "X"
+
+
+# ----------------------------------------------------------------------
+# Tracer filtering
+# ----------------------------------------------------------------------
+def test_tracer_records_all_categories_by_default():
+    tracer = Tracer(RingSink())
+    for category in CATEGORIES:
+        assert tracer.wants(category)
+        tracer.emit(category, "x", 0.0)
+    assert tracer.emitted == len(CATEGORIES)
+
+
+def test_tracer_filters_unselected_categories():
+    tracer = Tracer(RingSink(), categories=["rrs.swap"])
+    tracer.emit("dram.cmd", "ACT", 0.0)
+    tracer.emit("rrs.swap", "swap", 1.0)
+    assert tracer.emitted == 1
+    assert [event.category for event in tracer.events] == ["rrs.swap"]
+
+
+def test_tracer_rejects_unknown_categories():
+    with pytest.raises(ValueError, match="unknown trace categories"):
+        Tracer(RingSink(), categories=["dram.cmd", "bogus"])
+
+
+def test_complete_records_duration_phase():
+    tracer = Tracer(RingSink())
+    tracer.complete("mitigation", "swap_block", 10.0, 1460.0)
+    (event,) = tracer.events
+    assert event.phase == "X"
+    assert event.dur_ns == 1460.0
+
+
+# ----------------------------------------------------------------------
+# Environment opt-in
+# ----------------------------------------------------------------------
+def test_parse_categories_all_spellings():
+    assert parse_categories("1") is None
+    assert parse_categories("all") is None
+    assert parse_categories("*") is None
+    assert parse_categories("rrs.swap, refresh") == {"rrs.swap", "refresh"}
+    with pytest.raises(ValueError):
+        parse_categories("nope")
+
+
+def test_tracer_from_env_off_by_default():
+    assert tracer_from_env({}) is None
+    assert tracer_from_env({"REPRO_TRACE": "0"}) is None
+
+
+def test_tracer_from_env_ring_sink():
+    tracer = tracer_from_env(
+        {"REPRO_TRACE": "rrs.swap", "REPRO_TRACE_SINK": "ring",
+         "REPRO_TRACE_BUFFER": "42"}
+    )
+    assert tracer is not None
+    assert tracer.categories == {"rrs.swap"}
+    assert isinstance(tracer.sink, RingSink)
+    assert tracer.sink.capacity == 42
+
+
+def test_tracer_from_env_jsonl_sink(tmp_path):
+    path = str(tmp_path / "out.jsonl")
+    tracer = tracer_from_env({"REPRO_TRACE": "all", "REPRO_TRACE_FILE": path})
+    assert isinstance(tracer.sink, JsonlSink)
+    tracer.emit("exec", "R", 1.0)
+    tracer.close()
+    assert len(read_jsonl(path)) == 1
+
+
+def test_tracer_from_env_rejects_unknown_sink():
+    with pytest.raises(ValueError, match="REPRO_TRACE_SINK"):
+        tracer_from_env({"REPRO_TRACE": "1", "REPRO_TRACE_SINK": "kafka"})

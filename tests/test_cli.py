@@ -120,3 +120,64 @@ def test_check_sanitize_smoke_exit_zero(capsys):
     out = capsys.readouterr().out
     assert "sanitizer smoke" in out
     assert "ok: no findings" in out
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+def test_trace_parser_accepts_positional_defense():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "hmmer"])
+    assert args.workload == "hmmer"
+    assert args.defense == "rrs"
+    args = parser.parse_args(
+        ["trace", "mcf", "none", "--out", "t.json", "--categories", "rrs.swap"]
+    )
+    assert args.defense == "none"
+    assert args.categories == "rrs.swap"
+
+
+def test_trace_writes_valid_perfetto_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "hmmer", "rrs", "--records", "1500", "--out", str(out)]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "timeline:" in text
+    assert str(out) in text
+
+    from repro.obs import validate_trace_file
+
+    document = validate_trace_file(out)
+    assert document["otherData"]["workload"] == "hmmer"
+    categories = {
+        e.get("cat") for e in document["traceEvents"] if e.get("ph") != "M"
+    }
+    assert "dram.cmd" in categories
+
+
+def test_trace_jsonl_stream(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    assert main(
+        ["trace", "hmmer", "rrs", "--records", "1000",
+         "--out", str(out), "--jsonl", str(jsonl)]
+    ) == 0
+    from repro.obs import read_jsonl
+
+    events = read_jsonl(str(jsonl))
+    assert events
+    assert {e.category for e in events} >= {"dram.cmd", "exec"}
+
+
+def test_trace_category_filter(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "hmmer", "rrs", "--records", "1500",
+         "--out", str(out), "--categories", "rrs.swap,refresh"]
+    ) == 0
+    document = json.loads(out.read_text())
+    categories = {
+        e.get("cat") for e in document["traceEvents"] if e.get("ph") != "M"
+    }
+    assert categories <= {"rrs.swap", "refresh"}
