@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-smoke trace-smoke experiments clean-cache
+.PHONY: test lint check bench bench-smoke bench-gate trace-smoke profile experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
@@ -20,8 +20,15 @@ bench-smoke:  ## throughput microbenchmark with a tiny request budget
 	REPRO_BENCH_RECORDS=800 REPRO_CACHE=0 $(PYTHON) -m pytest \
 		benchmarks/bench_throughput.py --benchmark-only -q
 
+bench-gate:  ## fail when serial throughput regresses vs the committed baseline
+	$(PYTHON) scripts/bench_gate.py
+
 trace-smoke:  ## tiny traced run; validates the Perfetto JSON it writes
 	$(PYTHON) -m repro trace hmmer rrs --records 2000 --out trace-smoke.json
+
+profile:  ## cProfile the hot path (WORKLOAD=name DEFENSE=name PROFILE_FLAGS=--trace)
+	$(PYTHON) -m repro profile $(or $(WORKLOAD),hmmer) $(or $(DEFENSE),rrs) \
+		--records 8000 $(PROFILE_FLAGS)
 
 experiments:  ## full pipeline with a result index (use JOBS=N to fan out)
 	$(PYTHON) scripts/run_all_experiments.py $(if $(JOBS),--jobs $(JOBS))

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI bench gate: fail when serial throughput regresses vs the baseline.
+
+Compares the ``serial_requests_per_second`` headline of a fresh
+``benchmarks/results/BENCH_throughput.json`` (produced by running
+``bench_throughput.py``) against the committed baseline — by default
+the version of that file at ``HEAD``, so the gate works after the
+bench run has overwritten the working-tree copy.
+
+The gate fails when the fresh number falls more than ``--tolerance``
+(default 20%) below the baseline. The tolerance absorbs shared-runner
+noise that the benchmark's min-of-N timing cannot: CI machines differ
+in clock speed and neighbours, so only a regression well outside that
+band is attributable to the code. Genuine hot-path regressions land
+far beyond 20%; see the ``history`` array in the results file for the
+trajectory.
+
+Both runs must use the same ``records_per_core`` — requests/second is
+a rate, but short runs amortize startup differently, so comparing
+mismatched run lengths would make the gate flaky. Run the bench with
+``REPRO_BENCH_RECORDS`` matching the baseline (the CI workflow reads
+it from the committed file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "benchmarks" / "results" / "BENCH_throughput.json"
+METRIC = "serial_requests_per_second"
+
+
+def _committed_baseline() -> dict:
+    """The results file as committed at HEAD."""
+    probe = subprocess.run(
+        ["git", "show", f"HEAD:{RESULTS.relative_to(REPO_ROOT).as_posix()}"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if probe.returncode != 0:
+        raise SystemExit(
+            f"bench-gate: cannot read committed baseline: {probe.stderr.strip()}"
+        )
+    return json.loads(probe.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: the committed results file at HEAD)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=str(RESULTS),
+        help=f"fresh results JSON to gate (default: {RESULTS})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression before failing (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.baseline is None:
+        baseline = _committed_baseline()
+        baseline_name = "HEAD:benchmarks/results/BENCH_throughput.json"
+    else:
+        baseline = json.loads(Path(args.baseline).read_text())
+        baseline_name = args.baseline
+    fresh_path = Path(args.fresh)
+    if not fresh_path.exists():
+        raise SystemExit(
+            f"bench-gate: no fresh results at {fresh_path}; "
+            "run benchmarks/bench_throughput.py first"
+        )
+    fresh = json.loads(fresh_path.read_text())
+
+    if fresh["records_per_core"] != baseline["records_per_core"]:
+        raise SystemExit(
+            "bench-gate: run lengths differ — baseline records_per_core="
+            f"{baseline['records_per_core']}, fresh="
+            f"{fresh['records_per_core']}; rerun the bench with "
+            f"REPRO_BENCH_RECORDS={baseline['records_per_core']}"
+        )
+
+    base = baseline[METRIC]
+    now = fresh[METRIC]
+    floor = base * (1.0 - args.tolerance)
+    ratio = now / base
+    print(
+        f"bench-gate: serial {now:,.0f} req/s vs baseline {base:,.0f} req/s "
+        f"({baseline_name}) = {ratio:.2f}x; floor {floor:,.0f} req/s "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    if now < floor:
+        print(
+            f"bench-gate: FAIL — serial throughput regressed "
+            f"{1.0 - ratio:.0%} (> {args.tolerance:.0%} allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

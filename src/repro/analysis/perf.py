@@ -16,7 +16,7 @@ from repro.mem.metrics import SimMetrics
 from repro.mem.system import SystemConfig, SystemSimulator
 from repro.mitigations.base import Mitigation
 from repro.mitigations.none import NoMitigation
-from repro.workloads.suites import WorkloadSpec, get_workload
+from repro.workloads.suites import WorkloadSpec
 from repro.workloads.synthetic import (
     CYCLES_PER_WINDOW,
     SyntheticTraceGenerator,
@@ -43,9 +43,7 @@ def records_for_windows(
 
 def _core_spec(spec: WorkloadSpec, core_id: int) -> WorkloadSpec:
     """The workload one core replays (mix components differ per core)."""
-    if not spec.is_mix:
-        return spec
-    return get_workload(spec.components[core_id % len(spec.components)])
+    return spec.component_for_core(core_id)
 
 
 def run_workload(
@@ -79,7 +77,9 @@ def run_workload(
         generator = SyntheticTraceGenerator(
             core_spec, core_id=core_id, cores=cores, config=dram, seed=seed
         )
-        traces.append(generator.records(records_per_core))
+        # Columnar chunks: SystemSimulator.run batch-decodes each block
+        # and pools request objects. Bit-identical to .records().
+        traces.append(generator.chunks(records_per_core))
     return sim.run(traces, workload=spec.name)
 
 

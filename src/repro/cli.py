@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the library's main entry points:
+Seven subcommands cover the library's main entry points:
 
 * ``run``      — timing simulation of a workload under a defense
 * ``attack``   — an attack pattern against a defense (flip or not?)
 * ``security`` — the Section 5 analytical attack-cost table
 * ``trace``    — a traced simulation exported as Perfetto JSON plus a
   text timeline (see :mod:`repro.obs`)
+* ``profile``  — cProfile one run (optionally traced) and dump pstats
 * ``info``     — list available workloads, defenses, and attacks
 * ``check``    — determinism linter, cache-salt drift detector, and a
   DDR4 protocol-sanitizer smoke run (see :mod:`repro.check`)
@@ -268,6 +269,49 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """cProfile one simulation run; print hot functions, dump pstats."""
+    import cProfile
+    import pstats
+
+    spec = get_workload(args.workload)
+    mitigation = _build_defense(
+        args.defense, args.scale, args.t_rh, DRAMConfig().rows_per_bank
+    )
+    records = args.records or records_for_windows(spec, args.scale, max_records=80_000)
+    obs = None
+    if args.trace:
+        from repro.obs import Observability, RingSink, Tracer
+
+        obs = Observability(tracer=Tracer(RingSink()), export_extra=False)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    metrics = run_workload(
+        spec,
+        mitigation,
+        scale=args.scale,
+        records_per_core=records,
+        cores=args.cores,
+        obs=obs,
+    )
+    profiler.disable()
+
+    mode = "traced" if args.trace else "untraced"
+    print(
+        f"{spec.name} under {args.defense} ({mode}): "
+        f"{metrics.accesses:,} requests, IPC {metrics.ipc:.3f}, "
+        f"{metrics.swaps} swaps, {metrics.sim_time_ns / 1000:.1f} us simulated"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"pstats dump: {args.out} (browse with `python -m pstats {args.out}`)")
+    return 0
+
+
 def _cmd_check(args) -> int:
     # Imported here so `repro run/attack` never pay for the analysis
     # machinery.
@@ -355,6 +399,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stream raw events to this JSONL file",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile a simulation run; print hot functions",
+        description=(
+            "Run one workload under a defense with cProfile attached, "
+            "print the top functions by cumulative time, and dump the "
+            "full pstats data for interactive digging (python -m "
+            "pstats / snakeviz). --trace profiles the tracer-enabled "
+            "hot path instead of the plain one."
+        ),
+    )
+    profile.add_argument("workload", help="workload name (see `repro info`)")
+    profile.add_argument(
+        "defense", nargs="?", choices=DEFENSES, default="rrs",
+        help="defense to profile (default: rrs)",
+    )
+    profile.add_argument("--scale", type=int, default=32)
+    profile.add_argument("--t-rh", type=int, default=4800)
+    profile.add_argument(
+        "--records", type=int, default=0,
+        help="records per core (0 = size for full refresh windows)",
+    )
+    profile.add_argument("--cores", type=int, default=8)
+    profile.add_argument(
+        "--top", type=int, default=25,
+        help="how many functions to print (cumulative-time order)",
+    )
+    profile.add_argument(
+        "--out", default="profile.pstats",
+        help="pstats dump path ('' disables the dump)",
+    )
+    profile.add_argument(
+        "--trace", action="store_true",
+        help="profile with the repro.obs tracer enabled (ring sink)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     info = sub.add_parser("info", help="list workloads/defenses/attacks")
     info.set_defaults(func=_cmd_info)

@@ -13,6 +13,9 @@ against victim-focused mitigation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple, Tuple
+
+import numpy as np
 
 from repro.dram.config import DRAMConfig
 
@@ -40,6 +43,43 @@ class DecodedAddress:
         return (self.channel, self.rank, self.bank)
 
 
+class DecodedColumns(NamedTuple):
+    """Columnar result of :meth:`AddressMapper.decode_batch`.
+
+    One int64 array per DRAM coordinate, plus ``flat_bank`` — the
+    system-wide bank ordinal ``(channel * ranks + rank) * banks + bank``
+    that indexes :attr:`AddressMapper.bank_key_table`.
+    """
+
+    channel: np.ndarray
+    rank: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    column: np.ndarray
+    flat_bank: np.ndarray
+
+
+class MutableDecoded:
+    """Reusable, field-compatible stand-in for :class:`DecodedAddress`.
+
+    The columnar fast path services exactly one request at a time, so a
+    core can overwrite a single instance per request instead of
+    allocating a frozen ``DecodedAddress``. ``bank_key`` is a plain
+    attribute (set from the mapper's shared tuple table) where
+    ``DecodedAddress`` computes it — consumers read both identically.
+    """
+
+    __slots__ = ("channel", "rank", "bank", "row", "column", "bank_key")
+
+    def __init__(self) -> None:
+        self.channel = 0
+        self.rank = 0
+        self.bank = 0
+        self.row = 0
+        self.column = 0
+        self.bank_key: Tuple[int, int, int] = (0, 0, 0)
+
+
 class AddressMapper:
     """Bidirectional physical-address <-> (channel, rank, bank, row, col)."""
 
@@ -65,6 +105,15 @@ class AddressMapper:
         self._bank_mask = config.banks_per_rank - 1
         self._column_mask = config.lines_per_row - 1
         self._row_mask = config.rows_per_bank - 1
+        # Shared (channel, rank, bank) tuples indexed by the flat bank
+        # ordinal: the fast path hands these out instead of building a
+        # fresh tuple per request.
+        self.bank_key_table: Tuple[Tuple[int, int, int], ...] = tuple(
+            (channel, rank, bank)
+            for channel in range(config.channels)
+            for rank in range(config.ranks_per_channel)
+            for bank in range(config.banks_per_rank)
+        )
 
     def decode(self, address: int) -> DecodedAddress:
         """Split a physical byte address into DRAM coordinates."""
@@ -85,6 +134,49 @@ class AddressMapper:
         bits = (bits << self._bank_bits) | decoded.bank
         bits = (bits << self._rank_bits) | decoded.rank
         bits = (bits << self._channel_bits) | decoded.channel
+        return bits << self._line_bits
+
+    def decode_batch(self, addresses: np.ndarray) -> DecodedColumns:
+        """Vectorized :meth:`decode` over an int64 address array.
+
+        Element-for-element identical to the scalar method (the
+        property test in ``tests/dram`` asserts it); the whole batch is
+        five shift-and-mask passes plus the flat-bank combine.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and int(addresses.min()) < 0:
+            raise ValueError("address must be non-negative")
+        channel = (addresses >> self._channel_shift) & self._channel_mask
+        rank = (addresses >> self._rank_shift) & self._rank_mask
+        bank = (addresses >> self._bank_shift) & self._bank_mask
+        row = (addresses >> self._row_shift) & self._row_mask
+        column = (addresses >> self._column_shift) & self._column_mask
+        flat_bank = (channel << (self._rank_bits + self._bank_bits)) | (
+            rank << self._bank_bits
+        ) | bank
+        return DecodedColumns(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row=row,
+            column=column,
+            flat_bank=flat_bank,
+        )
+
+    def encode_batch(
+        self,
+        channel: np.ndarray,
+        rank: np.ndarray,
+        bank: np.ndarray,
+        row: np.ndarray,
+        column: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`encode` over coordinate arrays (int64)."""
+        bits = np.asarray(row, dtype=np.int64)
+        bits = (bits << self._column_bits) | column
+        bits = (bits << self._bank_bits) | bank
+        bits = (bits << self._rank_bits) | rank
+        bits = (bits << self._channel_bits) | channel
         return bits << self._line_bits
 
     def row_address(self, channel: int, rank: int, bank: int, row: int) -> int:

@@ -29,6 +29,7 @@ class Bank:
         "window_act_counts",
         "total_activations",
         "windows_elapsed",
+        "_rows_per_bank",
     )
 
     def __init__(
@@ -49,16 +50,28 @@ class Bank:
         self.window_act_counts: Counter = Counter()
         self.total_activations = 0
         self.windows_elapsed = 0
+        self._rows_per_bank = config.rows_per_bank
 
     # ------------------------------------------------------------------
     # Data-path events
     # ------------------------------------------------------------------
     def access(self, row: int, now_ns: float) -> AccessOutcome:
-        """Column access to ``row``; records an ACT on row-buffer miss."""
-        self._check_row(row)
+        """Column access to ``row``; records an ACT on row-buffer miss.
+
+        Runs once per serviced request: the row check and activation
+        accounting are inlined rather than delegated to the helper
+        methods the colder entry points use.
+        """
+        if not 0 <= row < self._rows_per_bank:
+            raise ValueError(
+                f"row {row} out of range [0, {self._rows_per_bank})"
+            )
         outcome = self.timing.access(row, now_ns)
         if outcome.activated:
-            self._note_activation(row)
+            self.window_act_counts[row] += 1
+            self.total_activations += 1
+            if self.disturbance is not None:
+                self.disturbance.on_activate(row)
         return outcome
 
     def activate(self, row: int, now_ns: float = 0.0) -> float:

@@ -38,6 +38,11 @@ class RefreshScheduler:
         self.config = config
         self.channels = channels
         self.window_callbacks = list(window_callbacks or [])
+        # Read-only observers that need the closing window's state
+        # *before* the rollover clears it (per-bank activation counts):
+        # invoked with the completed window's index, ahead of
+        # ``end_window``. Mutating hooks belong in window_callbacks.
+        self.pre_window_callbacks: list = []
         # DDR4 refresh flexibility: up to 8 REF commands may be
         # postponed while a rank is busy, paid back as a burst later.
         self.max_postponed = max_postponed
@@ -45,6 +50,9 @@ class RefreshScheduler:
         self.postponements = 0
         self._next_refi_ns = float(config.t_refi)
         self._next_window_ns = float(config.refresh_window_ns)
+        # Earliest time any refresh event is due: callers on the hot
+        # path compare against this before paying for advance_to().
+        self.next_due_ns = min(self._next_refi_ns, self._next_window_ns)
         self.refresh_bursts = 0
         self.windows_completed = 0
         # Optional hook called with (start_ns, bursts) whenever refresh
@@ -81,6 +89,7 @@ class RefreshScheduler:
                     start += self.config.t_rfc
             self._next_refi_ns += self.config.t_refi
         self._advance_windows(now_ns)
+        self.next_due_ns = min(self._next_refi_ns, self._next_window_ns)
 
     def _rank_busy_at(self, time_ns: float) -> bool:
         """True when any bank has work scheduled past ``time_ns``."""
@@ -92,6 +101,8 @@ class RefreshScheduler:
 
     def _advance_windows(self, now_ns: float) -> None:
         while self._next_window_ns <= now_ns:
+            for callback in self.pre_window_callbacks:
+                callback(self.windows_completed)
             for channel in self.channels:
                 channel.end_window()
             for callback in self.window_callbacks:

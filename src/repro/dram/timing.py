@@ -43,6 +43,23 @@ class BankTimingState:
     last_act_ns: float = field(default=-1e18)
     ready_ns: float = 0.0  # earliest time a new command may issue
     observer: object = None
+    # Timing scalars cached off the (frozen) config: access() runs once
+    # per request, and t_ras_ns is a computing property.
+    _t_cas: float = field(init=False, repr=False, default=0.0)
+    _t_rcd: float = field(init=False, repr=False, default=0.0)
+    _t_rp: float = field(init=False, repr=False, default=0.0)
+    _t_rc: float = field(init=False, repr=False, default=0.0)
+    _t_ras: float = field(init=False, repr=False, default=0.0)
+    _closed_page: bool = field(init=False, repr=False, default=False)
+
+    def __post_init__(self) -> None:
+        config = self.config
+        self._t_cas = config.t_cas
+        self._t_rcd = config.t_rcd
+        self._t_rp = config.t_rp
+        self._t_rc = config.t_rc
+        self._t_ras = config.t_ras_ns
+        self._closed_page = config.page_policy == "closed"
 
     def earliest_start(self, now_ns: float) -> float:
         """Earliest instant a new request could begin on this bank."""
@@ -54,11 +71,14 @@ class BankTimingState:
         Open-page policy: the row buffer is left open after the access.
         Returns timing; the caller accounts bus occupancy separately.
         """
-        start = self.earliest_start(now_ns)
+        now = self.ready_ns
+        start = now_ns if now_ns > now else now
+        observer = self.observer
         if self.open_row == row:
-            data = start + self.config.t_cas
+            data = start + self._t_cas
             self.ready_ns = data
-            self._emit("CAS", row, start)
+            if observer is not None:
+                observer("CAS", row, start)
             return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=True, activated=False)
 
         # Row-buffer miss: precharge if a row is open, then activate.
@@ -67,23 +87,25 @@ class BankTimingState:
         # schedule is still governed by tRC.
         act_at = start
         if self.open_row >= 0:
-            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
-            self._emit("PRE", self.open_row, pre_at)
-            act_at = pre_at + self.config.t_rp
-        act_at = max(act_at, self.last_act_ns + self.config.t_rc)
-        data = act_at + self.config.t_rcd + self.config.t_cas
+            pre_at = max(start, self.last_act_ns + self._t_ras)
+            if observer is not None:
+                observer("PRE", self.open_row, pre_at)
+            act_at = pre_at + self._t_rp
+        act_at = max(act_at, self.last_act_ns + self._t_rc)
+        data = act_at + self._t_rcd + self._t_cas
         self.open_row = row
         self.last_act_ns = act_at
         self.ready_ns = data
-        self._emit("ACT", row, act_at)
-        self._emit("CAS", row, act_at + self.config.t_rcd)
-        if self.config.page_policy == "closed":
+        if observer is not None:
+            observer("ACT", row, act_at)
+            observer("CAS", row, act_at + self._t_rcd)
+        if self._closed_page:
             # Auto-precharge: the bank closes after the burst, once the
             # row has been open for tRAS.
-            pre_at = max(data, act_at + self.config.t_ras_ns)
+            pre_at = max(data, act_at + self._t_ras)
             self._emit("PRE", row, pre_at)
             self.open_row = -1
-            self.ready_ns = pre_at + self.config.t_rp
+            self.ready_ns = pre_at + self._t_rp
         return AccessOutcome(start_ns=start, data_ns=data, row_buffer_hit=False, activated=True)
 
     def activate_only(self, row: int, now_ns: float) -> float:
@@ -91,13 +113,13 @@ class BankTimingState:
         start = self.earliest_start(now_ns)
         act_at = start
         if self.open_row >= 0:
-            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
+            pre_at = max(start, self.last_act_ns + self._t_ras)
             self._emit("PRE", self.open_row, pre_at)
-            act_at = pre_at + self.config.t_rp
-        act_at = max(act_at, self.last_act_ns + self.config.t_rc)
+            act_at = pre_at + self._t_rp
+        act_at = max(act_at, self.last_act_ns + self._t_rc)
         self.open_row = row
         self.last_act_ns = act_at
-        self.ready_ns = act_at + self.config.t_rcd
+        self.ready_ns = act_at + self._t_rcd
         self._emit("ACT", row, act_at)
         return act_at
 
@@ -105,10 +127,10 @@ class BankTimingState:
         """Close the row buffer; returns when the bank is idle again."""
         start = self.earliest_start(now_ns)
         if self.open_row >= 0:
-            pre_at = max(start, self.last_act_ns + self.config.t_ras_ns)
+            pre_at = max(start, self.last_act_ns + self._t_ras)
             self._emit("PRE", self.open_row, pre_at)
             self.open_row = -1
-            self.ready_ns = pre_at + self.config.t_rp
+            self.ready_ns = pre_at + self._t_rp
         return self.ready_ns
 
     def block_until(self, until_ns: float) -> None:

@@ -70,6 +70,18 @@ class MemoryController:
         self.mitigation = mitigation
         self.mapper = mapper if mapper is not None else AddressMapper(config)
         self.stats = ControllerStats()
+        # Hot-path constants hoisted out of service(): line_transfer_ns
+        # is a computing property, and every Mitigation's lookup latency
+        # is a fixed critical-path cost (the RIT's 4 cycles), not a
+        # per-request quantity.
+        self._line_transfer_ns = config.line_transfer_ns
+        self._lookup_ns = mitigation.lookup_latency_ns()
+        # Flat (rank-major) bank table: one index replaces the
+        # rank-then-bank double hop through Channel.bank().
+        self._banks_per_rank = config.banks_per_rank
+        self._bank_table = [
+            bank for rank in channel.ranks for bank in rank.banks
+        ]
         # Optional USIMM-style buffered writes: writes complete
         # immediately into the queue and drain in bursts once the
         # high-watermark is reached (0 = service writes inline).
@@ -105,7 +117,7 @@ class MemoryController:
                 f"controller of channel {self.channel.index}"
             )
 
-        bank = self.channel.bank(decoded.rank, decoded.bank)
+        bank = self._bank_table[decoded.rank * self._banks_per_rank + decoded.bank]
         bank_key = decoded.bank_key
         physical_row = self.mitigation.route(bank_key, decoded.row)
         request.physical_row = physical_row
@@ -120,10 +132,12 @@ class MemoryController:
             if len(self._write_queue) >= self.write_queue_capacity:
                 self._drain_writes(request.arrival_ns)
             if self.obs is not None:
-                self.obs.on_request(request)
+                # Zero latency, no row-buffer outcome: the DRAM work
+                # happens at drain time, not at enqueue.
+                self.obs.on_request(request, decoded, 0.0, False)
             return request.completion_ns
 
-        start_floor = request.arrival_ns + self.mitigation.lookup_latency_ns()
+        start_floor = request.arrival_ns + self._lookup_ns
         if bank.timing.open_row != physical_row:
             delay = self.mitigation.pre_activate_delay_ns(
                 bank_key, physical_row, start_floor
@@ -135,31 +149,33 @@ class MemoryController:
                 start_floor += delay
 
         outcome = bank.access(physical_row, start_floor)
-        data_start = self.channel.reserve_bus(
-            outcome.data_ns, self.config.line_transfer_ns
-        )
-        completion = data_start + self.config.line_transfer_ns
+        line_transfer_ns = self._line_transfer_ns
+        data_start = self.channel.reserve_bus(outcome.data_ns, line_transfer_ns)
+        completion = data_start + line_transfer_ns
 
         request.start_ns = outcome.start_ns
         request.completion_ns = completion
         request.row_buffer_hit = outcome.row_buffer_hit
 
+        stats = self.stats
         if request.is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        self.stats.total_latency_ns += completion - request.arrival_ns
-        if outcome.row_buffer_hit:
-            self.stats.row_buffer_hits += 1
+            stats.reads += 1
+        latency = completion - request.arrival_ns
+        stats.total_latency_ns += latency
+        hit = outcome.row_buffer_hit
+        if hit:
+            stats.row_buffer_hits += 1
         if outcome.activated:
-            self.stats.activations += 1
+            stats.activations += 1
             action = self.mitigation.on_activation(
                 bank_key, decoded.row, physical_row, completion
             )
             if not action.is_noop:
                 self._apply(action, bank, completion)
         if self.obs is not None:
-            self.obs.on_request(request)
+            self.obs.on_request(request, decoded, latency, hit)
         return completion
 
     def _drain_writes(self, now_ns: float) -> None:

@@ -10,16 +10,30 @@ This reproduces the property the paper's slowdown numbers depend on:
 memory-bound workloads (high MPKI) feel added memory latency (the
 RIT's 4 cycles, channel-blocking swaps) far more than compute-bound
 ones.
+
+Two trace front ends feed the same issue/retire logic:
+
+* **scalar** — any iterator of :class:`TraceRecord` (the original API);
+* **columnar** — a :class:`~repro.workloads.trace.TraceChunks` source
+  plus an :class:`~repro.dram.address.AddressMapper`. Whole numpy
+  blocks are pulled at once, addresses are batch-decoded, and (with
+  ``pool_requests=True``) a single :class:`MemoryRequest` plus one
+  :class:`~repro.dram.address.MutableDecoded` are reused for every
+  access, so the per-request path performs no allocation and no scalar
+  decode. Results are bit-identical between the two front ends.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, Optional, Tuple
+from typing import Deque, Iterable, Optional, Tuple, Union
 
+from repro.dram.address import AddressMapper, DecodedAddress, MutableDecoded
 from repro.mem.request import MemoryRequest
-from repro.workloads.trace import TraceRecord
+from repro.workloads.trace import TraceChunks, TraceRecord
+
+_EMPTY: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,28 +61,88 @@ class Core:
         "instructions_retired",
         "_inst_issued",
         "_outstanding",
-        "_pending",
+        "_has_pending",
+        "_pending_gap",
+        "_pending_addr",
+        "_pending_write",
         "_pending_issue_ns",
         "_exhausted",
+        "_cycle_ns",
+        "_retire_width",
+        "_rob_size",
+        "_chunked",
+        "_source",
+        "_mapper",
+        "_bank_key_table",
+        "_idx",
+        "_len",
+        "_gaps",
+        "_addrs",
+        "_writes",
+        "_chans",
+        "_ranks",
+        "_banks",
+        "_rows",
+        "_cols",
+        "_flats",
+        "_request",
+        "_decoded",
     )
 
     def __init__(
         self,
         core_id: int,
-        trace: Iterator[TraceRecord],
+        trace: Union[Iterable[TraceRecord], TraceChunks],
         config: Optional[CoreConfig] = None,
+        mapper: Optional[AddressMapper] = None,
+        pool_requests: bool = False,
     ) -> None:
         self.core_id = core_id
         self.config = config if config is not None else CoreConfig()
-        self._trace = iter(trace)
         self.time_ns = 0.0
         self.instructions_retired = 0
         self._inst_issued = 0
         # Outstanding loads: (instruction index at issue, completion time).
         self._outstanding: Deque[Tuple[int, float]] = deque()
-        self._pending: Optional[TraceRecord] = None
+        self._has_pending = False
+        self._pending_gap = 0
+        self._pending_addr = 0
+        self._pending_write = False
         self._pending_issue_ns: Optional[float] = None
         self._exhausted = False
+        # Issue-time math runs once per request: cache the config
+        # scalars (cycle_ns is a computing property).
+        self._cycle_ns = self.config.cycle_ns
+        self._retire_width = self.config.retire_width
+        self._rob_size = self.config.rob_size
+
+        self._chunked = mapper is not None and isinstance(trace, TraceChunks)
+        self._mapper = mapper
+        self._idx = 0
+        self._len = 0
+        self._gaps = self._addrs = self._writes = _EMPTY
+        self._chans = self._ranks = self._banks = _EMPTY
+        self._rows = self._cols = self._flats = _EMPTY
+        self._request: Optional[MemoryRequest] = None
+        self._decoded: Optional[MutableDecoded] = None
+        if self._chunked:
+            self._trace = None
+            self._source = trace
+            self._bank_key_table = mapper.bank_key_table
+            self._idx = -1  # first fetch pulls the first block
+            if pool_requests:
+                self._decoded = MutableDecoded()
+                self._request = MemoryRequest(
+                    address=0,
+                    is_write=False,
+                    core_id=core_id,
+                    arrival_ns=0.0,
+                    decoded=self._decoded,  # permanently attached
+                )
+        else:
+            self._trace = iter(trace)
+            self._source = None
+            self._bank_key_table = _EMPTY
         self._fetch()
 
     # ------------------------------------------------------------------
@@ -77,7 +151,7 @@ class Core:
     @property
     def done(self) -> bool:
         """True once the trace is fully replayed and loads drained."""
-        return self._exhausted and self._pending is None
+        return self._exhausted and not self._has_pending
 
     def next_issue_time(self) -> float:
         """Earliest time the core can present its next memory request.
@@ -86,37 +160,76 @@ class Core:
         pops satisfied ROB constraints, so recomputing after the pops
         would lose the stall and issue the request too early.
         """
-        if self._pending is None:
+        if not self._has_pending:
             return float("inf")
         if self._pending_issue_ns is None:
-            self._pending_issue_ns = self._issue_time_for(self._pending)
+            self._pending_issue_ns = self._issue_time_for(self._pending_gap)
         return self._pending_issue_ns
 
     def issue(self) -> MemoryRequest:
-        """Materialize the next memory request; advances core time."""
-        if self._pending is None:
+        """Materialize the next memory request; advances core time.
+
+        On the pooled columnar path the *same* ``MemoryRequest`` object
+        is returned for every call, refreshed in place — callers must
+        finish with a request before asking for the next one (the
+        system loop services each request synchronously).
+        """
+        if not self._has_pending:
             raise RuntimeError("no pending trace record to issue")
-        record = self._pending
         issue_at = self.next_issue_time()
         self.time_ns = issue_at
-        self._inst_issued += record.instruction_gap + 1
-        request = MemoryRequest(
-            address=record.address,
-            is_write=record.is_write,
-            core_id=self.core_id,
-            arrival_ns=issue_at,
-            instruction_index=self._inst_issued,
-        )
-        self._pending = None
+        self._inst_issued += self._pending_gap + 1
+        if self._chunked:
+            idx = self._idx
+            request = self._request
+            if request is not None:
+                # Stale routing/timing fields (physical_row, start_ns,
+                # completion_ns, row_buffer_hit) are NOT reset: the
+                # synchronous service path unconditionally overwrites
+                # them before anything reads them.
+                request.address = self._addrs[idx]
+                request.is_write = self._writes[idx]
+                request.arrival_ns = issue_at
+                request.instruction_index = self._inst_issued
+                decoded = self._decoded
+                decoded.channel = self._chans[idx]
+                decoded.rank = self._ranks[idx]
+                decoded.bank = self._banks[idx]
+                decoded.row = self._rows[idx]
+                decoded.column = self._cols[idx]
+                decoded.bank_key = self._bank_key_table[self._flats[idx]]
+            else:
+                request = MemoryRequest(
+                    address=self._addrs[idx],
+                    is_write=self._writes[idx],
+                    core_id=self.core_id,
+                    arrival_ns=issue_at,
+                    instruction_index=self._inst_issued,
+                    decoded=DecodedAddress(
+                        channel=self._chans[idx],
+                        rank=self._ranks[idx],
+                        bank=self._banks[idx],
+                        row=self._rows[idx],
+                        column=self._cols[idx],
+                    ),
+                )
+        else:
+            request = MemoryRequest(
+                address=self._pending_addr,
+                is_write=self._pending_write,
+                core_id=self.core_id,
+                arrival_ns=issue_at,
+                instruction_index=self._inst_issued,
+            )
+        self._has_pending = False
         self._pending_issue_ns = None
         self._fetch()
         return request
 
     def complete(self, request: MemoryRequest) -> None:
         """Deliver a serviced request's completion back to the core."""
-        self.instructions_retired = max(
-            self.instructions_retired, request.instruction_index
-        )
+        if request.instruction_index > self.instructions_retired:
+            self.instructions_retired = request.instruction_index
         if not request.is_write:
             self._outstanding.append(
                 (request.instruction_index, request.completion_ns)
@@ -149,27 +262,71 @@ class Core:
     def _fetch(self) -> None:
         if self._exhausted:
             return
+        if self._chunked:
+            idx = self._idx + 1
+            if idx >= self._len:
+                if not self._load_block():
+                    return
+                idx = 0
+            self._idx = idx
+            self._has_pending = True
+            self._pending_gap = self._gaps[idx]
+            return
         try:
-            self._pending = next(self._trace)
+            record = next(self._trace)
         except StopIteration:
             self._exhausted = True
-            self._pending = None
+            self._has_pending = False
+            return
+        self._has_pending = True
+        self._pending_gap = record.instruction_gap
+        self._pending_addr = record.address
+        self._pending_write = record.is_write
 
-    def _issue_time_for(self, record: TraceRecord) -> float:
+    def _load_block(self) -> bool:
+        """Pull and batch-decode the next columnar block.
+
+        ``tolist()`` converts every column to plain Python scalars once
+        per block, so the per-request loop indexes lists of ints/bools —
+        the exact values the scalar front end would have produced.
+        """
+        block = self._source.next_block()
+        while block is not None and len(block) == 0:
+            block = self._source.next_block()
+        if block is None:
+            self._exhausted = True
+            self._has_pending = False
+            return False
+        addresses = block["address"]
+        self._gaps = block["gap"].tolist()
+        self._addrs = addresses.tolist()
+        self._writes = block["is_write"].tolist()
+        columns = self._mapper.decode_batch(addresses)
+        self._chans = columns.channel.tolist()
+        self._ranks = columns.rank.tolist()
+        self._banks = columns.bank.tolist()
+        self._rows = columns.row.tolist()
+        self._cols = columns.column.tolist()
+        self._flats = columns.flat_bank.tolist()
+        self._len = len(self._gaps)
+        return True
+
+    def _issue_time_for(self, gap: int) -> float:
         """When this record's memory access reaches the memory system.
 
         The gap instructions retire at ``retire_width`` per cycle; if
         the ROB window (issued minus oldest-incomplete instruction)
         would exceed ``rob_size``, the core first waits for old loads.
         """
-        issue_at = self.time_ns + (
-            record.instruction_gap / self.config.retire_width
-        ) * self.config.cycle_ns
-        next_index = self._inst_issued + record.instruction_gap + 1
-        while self._outstanding:
-            oldest_index, oldest_completion = self._outstanding[0]
-            if next_index - oldest_index < self.config.rob_size:
+        issue_at = self.time_ns + (gap / self._retire_width) * self._cycle_ns
+        next_index = self._inst_issued + gap + 1
+        outstanding = self._outstanding
+        rob_size = self._rob_size
+        while outstanding:
+            oldest_index, oldest_completion = outstanding[0]
+            if next_index - oldest_index < rob_size:
                 break
-            issue_at = max(issue_at, oldest_completion)
-            self._outstanding.popleft()
+            if oldest_completion > issue_at:
+                issue_at = oldest_completion
+            outstanding.popleft()
         return issue_at

@@ -104,39 +104,61 @@ class SystemSimulator:
             raise ValueError(
                 f"expected {self.config.cores} traces, got {len(traces)}"
             )
+        # Columnar traces (TraceChunks) get the batched front end:
+        # per-block decode_batch plus pooled request objects. Pooling
+        # is safe here because this loop services each request fully
+        # (write_queue_capacity=0) before asking the core for another.
         cores = [
-            Core(core_id, trace, self.config.core)
+            Core(
+                core_id,
+                trace,
+                self.config.core,
+                mapper=self.mapper,
+                pool_requests=True,
+            )
             for core_id, trace in enumerate(traces)
         ]
-        heap = [
-            (core.next_issue_time(), core.core_id)
-            for core in cores
-            if not core.done
-        ]
+        # A core sits in the heap iff it has a pending record
+        # (next_issue_time is +inf exactly when it is done), so the loop
+        # needs no explicit done checks.
+        infinity = float("inf")
+        heap = []
+        for core in cores:
+            issue_at = core.next_issue_time()
+            if issue_at < infinity:
+                heap.append((issue_at, core.core_id))
         heapq.heapify(heap)
 
         # Hot loop: one iteration per memory request. Bound lookups are
         # hoisted to locals — at tens of millions of requests per sweep
-        # the attribute traffic is measurable.
+        # the attribute traffic is measurable. Refresh is gated on the
+        # scheduler's next-due time so the common iteration skips the
+        # call entirely.
         heappop = heapq.heappop
         heappush = heapq.heappush
-        advance_refresh = self.refresh.advance_to
+        refresh = self.refresh
+        advance_refresh = refresh.advance_to
+        refresh_due = refresh.next_due_ns
         decode = self.mapper.decode
         controllers = self.controllers
 
         while heap:
             _, core_id = heappop(heap)
             core = cores[core_id]
-            if core.done:
-                continue
             request = core.issue()
-            advance_refresh(request.arrival_ns)
-            decoded = decode(request.address)
-            request.decoded = decoded
+            arrival = request.arrival_ns
+            if arrival >= refresh_due:
+                advance_refresh(arrival)
+                refresh_due = refresh.next_due_ns
+            decoded = request.decoded
+            if decoded is None:  # scalar front end: decode here
+                decoded = decode(request.address)
+                request.decoded = decoded
             controllers[decoded.channel].service(request)
             core.complete(request)
-            if not core.done:
-                heappush(heap, (core.next_issue_time(), core_id))
+            issue_at = core.next_issue_time()
+            if issue_at < infinity:
+                heappush(heap, (issue_at, core_id))
 
         for core in cores:
             core.drain()

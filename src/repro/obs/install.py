@@ -32,13 +32,17 @@ byte-identical to untraced runs; the ``repro trace`` CLI turns it on.
 
 from __future__ import annotations
 
+import gc
 import os
-from typing import Any, Dict, Optional, Tuple
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import (
     DEFAULT_COUNT_BOUNDS,
     MetricsRegistry,
 )
+from repro.obs.tracer import BUFFER_FLUSH_AT as FLUSH_AT
+from repro.obs.tracer import BUFFER_FLUSH_BACKSTOP as FLUSH_BACKSTOP
 from repro.obs.tracer import Tracer, tracer_from_env
 
 _ENV_EXTRA = "REPRO_TRACE_EXTRA"
@@ -78,6 +82,33 @@ class Observability:
             "refresh_bursts": 0,
         }
         self._read_latency = self.registry.histogram("latency.read_ns")
+        # Fast-path state built by install() once the geometry is known:
+        # flat (channel-major) per-bank counter tables, per-channel
+        # read/write counters, precomposed track tuples, and the
+        # category decisions hoisted out of the per-event probes.
+        self._chan_reads: list = []
+        self._chan_writes: list = []
+        self._bank_access: list = []
+        self._bank_hits: list = []
+        self._bank_act_counters: list = []
+        self._bank_key_args: list = []
+        # (bank_key, Bank) pairs in counter-table order, for the
+        # finalize-time counter derivations and window-boundary folds.
+        self._banks: list = []
+        self._core_tracks: list = []
+        # Read latencies buffered here and folded into the histogram in
+        # blocks (Histogram.observe_bulk) instead of one observe() per
+        # request.
+        self._latency_buffer: List[float] = []
+        self._ranks_per_channel = 0
+        self._banks_per_rank = 0
+        self._trace_exec = False
+        self._trace_cmds = False
+        self._trace_mitigation = False
+        self._trace_refresh = False
+        # Saved gc thresholds while event recording is active (see
+        # install()); None whenever no adjustment is in force.
+        self._gc_threshold: Optional[Tuple[int, int, int]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -106,17 +137,30 @@ class Observability:
 
         from repro.dram.timing import chain_observer
 
+        # The per-command timing observer exists solely to record
+        # ``dram.cmd`` events: every counter it used to maintain is
+        # recovered exactly at finalize/window boundaries from state
+        # the banks already track (see finalize() and
+        # _fold_bank_acts()). When the category is off, no observer is
+        # installed and commands cost the simulator nothing.
+        tracer = self.tracer
+        trace_cmds = tracer is not None and tracer.wants("dram.cmd")
+        self._trace_cmds = trace_cmds
         for channel in simulator.channels:
             for rank_index, rank in enumerate(channel.ranks):
                 for bank in rank.banks:
                     bank_key = (channel.index, rank_index, bank.index)
-                    chain_observer(bank.timing, self._bank_probe(bank_key))
+                    self._banks.append((bank_key, bank))
+                    self._row_acts[bank_key] = defaultdict(int)
+                    if trace_cmds:
+                        chain_observer(bank.timing, self._bank_probe(bank_key))
 
         for controller in simulator.controllers:
             controller.obs = self
 
         refresh = simulator.refresh
         self._chain_refresh_observer(refresh)
+        refresh.pre_window_callbacks.append(self._fold_bank_acts)
         refresh.window_callbacks.append(self._on_window_end)
 
         mitigation = simulator.mitigation
@@ -125,34 +169,117 @@ class Observability:
             mitigation.engine_observer = self._on_swap_op
             for engine in getattr(mitigation, "_engines", {}).values():
                 engine.observer = self._on_swap_op
+
+        # Precreate every per-channel and per-bank counter the request
+        # probe touches, flat-indexed channel-major so on_request does
+        # integer math instead of f-string name construction and
+        # registry dict lookups per request. Category filters are fixed
+        # for the tracer's lifetime, so the wants() decisions hoist to
+        # install time too.
+        dram = simulator.config.dram
+        registry = self.registry
+        self._ranks_per_channel = dram.ranks_per_channel
+        self._banks_per_rank = dram.banks_per_rank
+        self._chan_reads = [
+            registry.counter(f"controller.ch{c}.reads")
+            for c in range(dram.channels)
+        ]
+        self._chan_writes = [
+            registry.counter(f"controller.ch{c}.writes")
+            for c in range(dram.channels)
+        ]
+        for kind in ("act", "pre", "cas"):
+            registry.counter(f"dram.cmd.{kind}")
+        for ch in range(dram.channels):
+            for rk in range(dram.ranks_per_channel):
+                for bk in range(dram.banks_per_rank):
+                    label = f"ch{ch}.rk{rk}.bk{bk}"
+                    self._bank_access.append(
+                        registry.counter(f"bank.{label}.accesses")
+                    )
+                    self._bank_hits.append(
+                        registry.counter(f"bank.{label}.row_hits")
+                    )
+                    self._bank_act_counters.append(
+                        registry.counter(f"dram.{label}.act")
+                    )
+                    self._bank_key_args.append((ch, rk, bk))
+        self._core_tracks = [
+            ("core", core_id) for core_id in range(simulator.config.cores)
+        ]
+        tracer = self.tracer
+        self._trace_exec = tracer is not None and tracer.wants("exec")
+        self._trace_mitigation = tracer is not None and tracer.wants("mitigation")
+        self._trace_refresh = tracer is not None and tracer.wants("refresh")
+        # Shadow the bound method with the precomposed closure — the
+        # controllers call whatever ``obs.on_request`` resolves to.
+        self.on_request = self._make_request_probe()
+
+        # Event recording retains a few small objects per event, and
+        # CPython's allocation-count-triggered cyclic GC rescans the
+        # growing buffer/ring on every young-gen pass — measured as the
+        # single largest tracer cost, without ever finding garbage
+        # (events are reachable until export, and the simulator itself
+        # is cycle-free on its hot path). Raise the young-gen threshold
+        # while recording is active; finalize()/close() restore it.
+        # Reference counting still frees all acyclic garbage promptly.
+        if tracer is not None and tracer.enabled and (
+            tracer.categories is None or tracer.categories
+        ):
+            self._gc_threshold = gc.get_threshold()
+            gc.set_threshold(1_000_000, *self._gc_threshold[1:])
         return self
 
+    def _restore_gc_threshold(self) -> None:
+        if self._gc_threshold is not None:
+            gc.set_threshold(*self._gc_threshold)
+            self._gc_threshold = None
+
     def _bank_probe(self, bank_key: BankKey):
-        """Command observer for one bank (tracer + per-bank counters)."""
+        """``dram.cmd`` command observer for one bank (events only).
+
+        Installed solely when the category records; the closure does no
+        counter work at all — every command counter is derived exactly
+        from bank state afterwards (see finalize()). One command costs
+        one compact 4-tuple display (``RAW_CMD_FIELDS``: category,
+        duration, and phase are implied) plus one C-level append into
+        the shared tracer buffer. The retained tuple holds only
+        immutables — no dict allocation, nothing for the cyclic GC to
+        keep rescanning. The regular block drain is driven by the
+        request-completion probe (one length check per request instead
+        of one per command); the backstop here only catches
+        request-free command streams such as attack-driver ACT loops.
+        """
         tracer = self.tracer
-        label = _bank_label(bank_key)
-        acts: Dict[int, int] = {}
-        self._row_acts[bank_key] = acts
-        act_counter = self.registry.counter(f"dram.{label}.act")
-        kind_counters = {
-            kind: self.registry.counter(f"dram.cmd.{kind.lower()}")
-            for kind in ("ACT", "PRE", "CAS")
-        }
         track = ("bank",) + bank_key
+        buffer = tracer.buffer
+        buffer_event = buffer.append
+        flush_events = tracer.flush_buffer
 
         def probe(kind: str, row: int, time_ns: float) -> None:
-            counter = kind_counters.get(kind)
-            if counter is not None:
-                counter.inc()
-            if kind == "ACT":
-                act_counter.inc()
-                acts[row] = acts.get(row, 0) + 1
-            if tracer is not None and tracer.wants("dram.cmd"):
-                tracer.emit(
-                    "dram.cmd", kind, time_ns, track=track, args={"row": row}
-                )
+            buffer_event((kind, time_ns, track, row))
+            if len(buffer) >= FLUSH_BACKSTOP:
+                flush_events()
 
         return probe
+
+    def _fold_bank_acts(self, window_index: int) -> None:
+        """Accumulate the closing window's per-row ACT counts.
+
+        Registered as a refresh *pre*-window callback: the banks'
+        ``window_act_counts`` are about to be cleared by the rollover,
+        and their sum across windows (plus the partial tail folded by
+        finalize()) is exactly the per-row activation total the old
+        per-command probe used to count — every ACT, including
+        attack-driver and swap-stream ones, passes through
+        ``Bank``'s activation accounting.
+        """
+        for bank_key, bank in self._banks:
+            counts = bank.window_act_counts
+            if counts:
+                acts = self._row_acts[bank_key]
+                for row, count in counts.items():
+                    acts[row] += count
 
     def _chain_refresh_observer(self, refresh) -> None:
         existing = refresh.observer
@@ -171,35 +298,92 @@ class Observability:
     # ------------------------------------------------------------------
     # Probes (called from the instrumented hot paths)
     # ------------------------------------------------------------------
-    def on_request(self, request) -> None:
-        """One serviced memory request (called by the controller)."""
-        decoded = request.decoded
-        label = _bank_label(decoded.bank_key)
-        if request.is_write:
-            self.registry.counter(f"controller.ch{decoded.channel}.writes").inc()
-            name = "W"
-        else:
-            self.registry.counter(f"controller.ch{decoded.channel}.reads").inc()
-            self._read_latency.observe(request.completion_ns - request.arrival_ns)
-            name = "R"
-        self.registry.counter(f"bank.{label}.accesses").inc()
-        if request.row_buffer_hit:
-            self.registry.counter(f"bank.{label}.row_hits").inc()
-        tracer = self.tracer
-        if tracer is not None and tracer.wants("exec"):
-            tracer.complete(
-                "exec",
-                name,
-                request.arrival_ns,
-                max(request.completion_ns - request.arrival_ns, 0.0),
-                track=("core", request.core_id),
-                args={
-                    "row": decoded.row,
-                    "physical_row": request.physical_row,
-                    "bank": list(decoded.bank_key),
-                    "hit": request.row_buffer_hit,
-                },
-            )
+    def _make_request_probe(self):
+        """Build the per-request probe closure (``on_request``).
+
+        The single hottest obs entry point — called for every serviced
+        request even when all trace categories are off, as
+        ``on_request(request, decoded, latency, hit)``: the controller
+        passes the values it already holds as locals so the probe
+        re-reads almost nothing through attributes. Everything else it
+        needs is captured as closure locals: the flat per-bank counter
+        tables install() built (pure integer indexing, no name
+        formatting), the latency buffer's bound append, and — when the
+        ``exec`` category records — the tracer's shared event buffer,
+        so one event costs one tuple display plus one list append
+        (batches drain to the sink, see ``Tracer.buffer``). Per-channel
+        read/write counters are not touched here at all: finalize()
+        copies them from ``ControllerStats``, which counts the same
+        requests. Read latencies accumulate in a plain list and fold
+        into the histogram in blocks (observe_bulk).
+        """
+        ranks_per_channel = self._ranks_per_channel
+        banks_per_rank = self._banks_per_rank
+        bank_access = self._bank_access
+        bank_hits = self._bank_hits
+        bank_key_args = self._bank_key_args
+        latency_buffer = self._latency_buffer
+        buffer_latency = latency_buffer.append
+        flush_latencies = self._flush_latencies
+        core_tracks = self._core_tracks
+        n_tracks = len(core_tracks)
+        trace_exec = self._trace_exec
+        event_buffer = buffer_event = flush_events = None
+        # The completion probe drives the shared buffer's regular drain
+        # whenever *any* hot category records: one length check per
+        # request covers this request's exec event and the command
+        # events its bank access just produced.
+        drain_buffer = trace_exec or self._trace_cmds
+        if drain_buffer:
+            event_buffer = self.tracer.buffer
+            flush_events = self.tracer.flush_buffer
+        if trace_exec:
+            buffer_event = event_buffer.append
+
+        def on_request(request, decoded, latency, hit) -> None:
+            flat = (
+                decoded.channel * ranks_per_channel + decoded.rank
+            ) * banks_per_rank + decoded.bank
+            if request.is_write:
+                name = "W"
+            else:
+                name = "R"
+                buffer_latency(latency)
+                if len(latency_buffer) >= 8192:
+                    flush_latencies()
+            bank_access[flat].value += 1
+            if hit:
+                bank_hits[flat].value += 1
+            if trace_exec:
+                core_id = request.core_id
+                buffer_event(
+                    (
+                        "exec",
+                        name,
+                        request.arrival_ns,
+                        core_tracks[core_id]
+                        if core_id < n_tracks
+                        else ("core", core_id),
+                        latency,  # completion never precedes arrival
+                        # Flat exec-quad args shorthand: one immutable
+                        # tuple, no GC-tracked objects retained (see
+                        # RAW_EVENT_FIELDS).
+                        (decoded.row, request.physical_row,
+                         bank_key_args[flat], hit),
+                        "X",
+                    )
+                )
+            if drain_buffer and len(event_buffer) >= FLUSH_AT:
+                flush_events()
+
+        return on_request
+
+    def _flush_latencies(self) -> None:
+        """Fold buffered read latencies into the histogram."""
+        buffer = self._latency_buffer
+        if buffer:
+            self._read_latency.observe_bulk(buffer)
+            buffer.clear()
 
     def on_throttle(
         self, bank_key: BankKey, row: int, now_ns: float, delay_ns: float
@@ -207,7 +391,7 @@ class Observability:
         """A pre-activation throttle stall (BlockHammer-style)."""
         self.registry.counter("mitigation.throttle.events").inc()
         tracer = self.tracer
-        if tracer is not None and tracer.wants("mitigation"):
+        if self._trace_mitigation:
             tracer.complete(
                 "mitigation",
                 "throttle",
@@ -220,7 +404,7 @@ class Observability:
     def on_mitigation(self, action, bank_key: BankKey, now_ns: float) -> None:
         """One applied :class:`MitigationOutcome` (non-noop)."""
         tracer = self.tracer
-        trace_on = tracer is not None and tracer.wants("mitigation")
+        trace_on = self._trace_mitigation
         track = ("bank",) + bank_key
         if action.refresh_rows:
             self.registry.counter("mitigation.victim_refreshes").inc(
@@ -257,7 +441,7 @@ class Observability:
     def _on_refresh_burst(self, start_ns: float, bursts: int) -> None:
         self.registry.counter("refresh.bursts").inc(bursts)
         tracer = self.tracer
-        if tracer is not None and tracer.wants("refresh"):
+        if self._trace_refresh:
             simulator = self._simulator
             t_rfc = simulator.config.dram.t_rfc if simulator is not None else 0.0
             tracer.complete(
@@ -314,11 +498,53 @@ class Observability:
     def finalize(self, metrics, simulator) -> None:
         """Fold end-of-run aggregates into the registry and, when
         ``export_extra`` is set, into ``metrics.extra["obs"]``."""
+        self._restore_gc_threshold()
         # Tail of the run since the last completed window (partial).
         if any(
             controller.stats.accesses for controller in simulator.controllers
         ):
             self._snapshot_window(simulator.refresh.windows_completed, partial=True)
+
+        self._flush_latencies()
+        # The tail of the current (incomplete) refresh window.
+        self._fold_bank_acts(simulator.refresh.windows_completed)
+
+        # Counters the hot probes deliberately do not maintain,
+        # recovered exactly from authoritative per-layer totals:
+        #  * per-channel reads/writes — ControllerStats counts exactly
+        #    the requests on_request saw;
+        #  * per-bank and global ACT — every ACT (request misses,
+        #    attack drivers, swap streams) increments
+        #    ``Bank.total_activations``, which is never reset;
+        #  * PRE — each ACT onto an open bank is preceded by one PRE,
+        #    and explicit/auto precharges close the bank so the next
+        #    ACT is not; the open/close transitions telescope to
+        #    ``PRE = ACT - (banks left open at the end)`` under any
+        #    page policy;
+        #  * CAS — every CAS comes from a Bank.access call, numbering
+        #    accesses minus still-queued writes (activate-only paths
+        #    issue no CAS).
+        if self._banks:
+            cas_total = 0
+            for controller in simulator.controllers:
+                stats = controller.stats
+                index = controller.channel.index
+                self._chan_reads[index].value = stats.reads
+                self._chan_writes[index].value = stats.writes
+                cas_total += stats.accesses - controller.pending_writes
+            act_total = 0
+            open_banks = 0
+            for (_, bank), act_counter in zip(
+                self._banks, self._bank_act_counters
+            ):
+                act_counter.value = bank.total_activations
+                act_total += bank.total_activations
+                if bank.timing.open_row >= 0:
+                    open_banks += 1
+            registry = self.registry
+            registry.counter("dram.cmd.cas").value = cas_total
+            registry.counter("dram.cmd.act").value = act_total
+            registry.counter("dram.cmd.pre").value = act_total - open_banks
 
         acts_hist = self.registry.histogram(
             "dram.acts_per_row", DEFAULT_COUNT_BOUNDS
@@ -362,5 +588,6 @@ class Observability:
 
     def close(self) -> None:
         """Release the tracer's sink (flushes a JSONL file)."""
+        self._restore_gc_threshold()
         if self.tracer is not None:
             self.tracer.close()

@@ -117,6 +117,64 @@ class TraceEvent:
         )
 
 
+# Raw event tuples mirror TraceEvent's positional field order, so a
+# retained tuple materializes as ``TraceEvent(*raw)``. Hot probes emit
+# these (one tuple display) instead of paying for a Python __init__
+# per event; sinks materialize lazily at export time. The ``args``
+# slot may carry a bare int (shorthand for ``{"row": value}``), a
+# tuple of key/value pairs (shorthand for ``dict(pairs)``), or a flat
+# ``(row, physical_row, bank, hit)`` quad (the per-request ``exec``
+# shorthand: one tuple display instead of five) — hot probes use these
+# so a retained event tuple contains only immutables: cyclic-GC
+# collections untrack such tuples after one young-gen scan, where a
+# dict per event would stay tracked (and rescanned) for the life of
+# the ring.
+#
+# The hottest producer of all — the per-command ``dram.cmd`` probe —
+# uses an even shorter form: a 4-tuple ``(name, ts_ns, track, row)``,
+# with category ``"dram.cmd"``, zero duration, and instant phase
+# implied. Raw forms are distinguished by length (4 vs 7), so the two
+# encodings coexist in one buffer.
+RAW_EVENT_FIELDS = (
+    "category", "name", "ts_ns", "track", "dur_ns", "args", "phase"
+)
+RAW_CMD_FIELDS = ("name", "ts_ns", "track", "row")
+
+
+def _raw_args(args):
+    """Normalize a raw tuple's args shorthand to a plain dict."""
+    kind = type(args)
+    if kind is int:
+        return {"row": args}
+    if kind is tuple:
+        if not args:
+            return {}
+        if type(args[0]) is tuple:
+            return dict(args)
+        row, physical_row, bank, hit = args
+        return {
+            "row": row,
+            "physical_row": physical_row,
+            "bank": bank,
+            "hit": hit,
+        }
+    return args
+
+
+def _materialize(entry) -> TraceEvent:
+    if isinstance(entry, TraceEvent):
+        return entry
+    if len(entry) == 4:
+        name, ts_ns, track, row = entry
+        return TraceEvent(
+            "dram.cmd", name, ts_ns, track, 0.0, {"row": row}, PHASE_INSTANT
+        )
+    category, name, ts_ns, track, dur_ns, args, phase = entry
+    return TraceEvent(
+        category, name, ts_ns, track, dur_ns, _raw_args(args), phase
+    )
+
+
 class RingSink:
     """Bounded in-memory sink: keeps the most recent ``capacity`` events.
 
@@ -124,6 +182,8 @@ class RingSink:
     exporters can say a trace is truncated instead of silently showing
     a partial run.
     """
+
+    __slots__ = ("capacity", "_events", "received")
 
     def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
         if capacity <= 0:
@@ -136,14 +196,24 @@ class RingSink:
         self.received += 1
         self._events.append(event)
 
+    def write_batch(self, batch: List) -> None:
+        """Ingest a buffered batch of events / raw tuples at once.
+
+        The tracer's hot path appends into a shared buffer (a plain
+        ``list.append`` per event) and hands it over in blocks, so the
+        per-event sink cost amortizes to a C-speed ``deque.extend``.
+        """
+        self.received += len(batch)
+        self._events.extend(batch)
+
     @property
     def dropped(self) -> int:
         return self.received - len(self._events)
 
     @property
     def events(self) -> List[TraceEvent]:
-        """The retained events, oldest first."""
-        return list(self._events)
+        """The retained events, oldest first (raw tuples materialized)."""
+        return [_materialize(entry) for entry in self._events]
 
     def flush(self) -> None:
         """Nothing buffered outside the ring."""
@@ -170,6 +240,41 @@ class JsonlSink:
         self.received += 1
         self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
         self._handle.write("\n")
+
+    def write_batch(self, batch: List) -> None:
+        """Serialize a buffered batch (same line format as write())."""
+        self.received += len(batch)
+        dumps = json.dumps
+        write = self._handle.write
+        for entry in batch:
+            if isinstance(entry, TraceEvent):
+                out = entry.to_dict()
+            elif len(entry) == 4:
+                name, ts_ns, track, row = entry
+                out = {
+                    "cat": "dram.cmd",
+                    "name": name,
+                    "ts": ts_ns,
+                    "track": list(track),
+                    "ph": PHASE_INSTANT,
+                    "args": {"row": row},
+                }
+            else:
+                category, name, ts_ns, track, dur_ns, args, phase = entry
+                args = _raw_args(args)
+                out = {
+                    "cat": category,
+                    "name": name,
+                    "ts": ts_ns,
+                    "track": list(track),
+                    "ph": phase,
+                }
+                if dur_ns:
+                    out["dur"] = dur_ns
+                if args:
+                    out["args"] = dict(args)
+            write(dumps(out, sort_keys=True))
+            write("\n")
 
     @property
     def events(self) -> List[TraceEvent]:
@@ -209,15 +314,39 @@ def read_jsonl(path: str) -> List[TraceEvent]:
     return events
 
 
+# Shared-buffer drain threshold: hot probes append raw tuples to
+# ``Tracer.buffer`` and drain it into the sink whenever it reaches this
+# many entries (a length check per event, a sink call per batch).
+BUFFER_FLUSH_AT = 4096
+# Coarser backstop for the per-command probe: the request-completion
+# probe drives the regular drain (one length check per request covers
+# the handful of command events that request produced), so the command
+# probe only guards against request-free stretches — attack drivers
+# hammering ACTs through ``Bank.activate`` — where no completion ever
+# fires. Bounds the buffer without paying a tight check per command.
+BUFFER_FLUSH_BACKSTOP = 8 * BUFFER_FLUSH_AT
+
+
 class Tracer:
     """Category-filtered event recorder.
 
     ``categories=None`` records everything. Probes should ask
     :meth:`wants` (or use the guard idiom) before building event
     arguments, so filtered-out categories never allocate.
+
+    Recording is buffered: every emitted event — probe raw tuples and
+    :meth:`emit` events alike — lands in :attr:`buffer`, which drains
+    into the sink in :data:`BUFFER_FLUSH_AT` blocks. One shared buffer
+    keeps events in exact emission order while making the hot-path
+    cost a single ``list.append``; install-time-composed probes bind
+    ``tracer.buffer.append`` and :meth:`flush_buffer` directly and
+    skip even the method-call layer (see :mod:`repro.obs.install`).
+    Readers (:attr:`events`, :attr:`emitted`, :attr:`dropped`,
+    :meth:`flush`) drain the buffer first, so buffering is invisible
+    outside this module.
     """
 
-    __slots__ = ("sink", "categories", "enabled", "emitted")
+    __slots__ = ("sink", "categories", "enabled", "buffer", "_ingest")
 
     def __init__(
         self,
@@ -237,7 +366,18 @@ class Tracer:
                 )
             self.categories = chosen
         self.enabled = True
-        self.emitted = 0
+        self.buffer: List = []
+        # Sinks without batch support (third-party test doubles) get a
+        # materializing per-event fallback.
+        ingest = getattr(self.sink, "write_batch", None)
+        if ingest is None:
+            sink_write = self.sink.write
+
+            def ingest(batch: List) -> None:
+                for entry in batch:
+                    sink_write(_materialize(entry))
+
+        self._ingest = ingest
 
     def wants(self, category: str) -> bool:
         """True when events of ``category`` are being recorded."""
@@ -258,8 +398,8 @@ class Tracer:
         """Record one event (drops it when the category is filtered)."""
         if not self.wants(category):
             return
-        self.emitted += 1
-        self.sink.write(
+        buffer = self.buffer
+        buffer.append(
             TraceEvent(
                 category=category,
                 name=name,
@@ -270,6 +410,22 @@ class Tracer:
                 phase=phase,
             )
         )
+        if len(buffer) >= BUFFER_FLUSH_AT:
+            self.flush_buffer()
+
+    def flush_buffer(self) -> None:
+        """Drain the shared event buffer into the sink."""
+        buffer = self.buffer
+        if buffer:
+            self._ingest(buffer)
+            buffer.clear()
+
+    @property
+    def emitted(self) -> int:
+        """Events recorded, counted at the sink (every recorded event
+        reaches the sink exactly once)."""
+        self.flush_buffer()
+        return getattr(self.sink, "received", 0)
 
     def complete(
         self,
@@ -294,16 +450,20 @@ class Tracer:
     @property
     def events(self) -> List[TraceEvent]:
         """The sink's retained events."""
+        self.flush_buffer()
         return self.sink.events
 
     @property
     def dropped(self) -> int:
+        self.flush_buffer()
         return self.sink.dropped
 
     def flush(self) -> None:
+        self.flush_buffer()
         self.sink.flush()
 
     def close(self) -> None:
+        self.flush_buffer()
         self.sink.close()
 
 

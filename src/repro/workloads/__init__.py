@@ -8,8 +8,22 @@ three workload statistics the RRS evaluation actually depends on
 800+ activations per 64 ms window. See DESIGN.md §1.
 """
 
-from repro.workloads.trace import TraceRecord, read_trace, write_trace
-from repro.workloads.cachefilter import RawAccess, filter_through_llc
+from repro.workloads.trace import (
+    TRACE_BLOCK_DTYPE,
+    TRACE_BLOCK_RECORDS,
+    TraceChunks,
+    TraceRecord,
+    iter_block,
+    read_trace,
+    read_trace_chunks,
+    records_to_blocks,
+    write_trace,
+)
+from repro.workloads.cachefilter import (
+    RawAccess,
+    filter_through_llc,
+    filter_through_llc_chunks,
+)
 from repro.workloads.synthetic import (
     ActivationProfile,
     SyntheticTraceGenerator,
@@ -23,11 +37,18 @@ from repro.workloads.suites import (
 )
 
 __all__ = [
+    "TRACE_BLOCK_DTYPE",
+    "TRACE_BLOCK_RECORDS",
+    "TraceChunks",
     "TraceRecord",
+    "iter_block",
     "read_trace",
+    "read_trace_chunks",
+    "records_to_blocks",
     "write_trace",
     "RawAccess",
     "filter_through_llc",
+    "filter_through_llc_chunks",
     "ActivationProfile",
     "SyntheticTraceGenerator",
     "WorkloadSpec",

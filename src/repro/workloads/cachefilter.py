@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Iterable, Iterator, NamedTuple
 
 from repro.mem.cache import CacheConfig, LastLevelCache
-from repro.workloads.trace import TraceRecord
+from repro.workloads.trace import (
+    TRACE_BLOCK_RECORDS,
+    TraceChunks,
+    TraceRecord,
+    records_to_blocks,
+)
 
 
 class RawAccess(NamedTuple):
@@ -54,3 +59,20 @@ def filter_through_llc(
         pending_gap = 0
         if writeback:
             yield TraceRecord(instruction_gap=0, address=miss_address, is_write=True)
+
+
+def filter_through_llc_chunks(
+    accesses: Iterable[RawAccess],
+    cache: LastLevelCache = None,
+    block_records: int = TRACE_BLOCK_RECORDS,
+) -> TraceChunks:
+    """Columnar view of :func:`filter_through_llc`.
+
+    The cache model itself stays scalar (its hit/miss decisions are
+    inherently sequential); the post-LLC output is packed into blocks
+    so the simulator consumes a filtered raw stream through the same
+    batched-decode fast path as synthetic traces.
+    """
+    return TraceChunks(
+        records_to_blocks(filter_through_llc(accesses, cache), block_records)
+    )

@@ -40,6 +40,16 @@ class WorkloadSpec:
         """True for the 6 mixed workloads."""
         return bool(self.components)
 
+    def component_for_core(self, core_id: int) -> "WorkloadSpec":
+        """The workload one core replays.
+
+        Mix components cycle round-robin over the cores; every other
+        workload runs rate-mode (each core replays the same spec).
+        """
+        if not self.components:
+            return self
+        return get_workload(self.components[core_id % len(self.components)])
+
 
 def _w(name, suite, footprint, mpki, act800, ipc=0.0):
     return WorkloadSpec(

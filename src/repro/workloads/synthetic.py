@@ -28,7 +28,13 @@ import numpy as np
 from repro.dram.address import AddressMapper, DecodedAddress
 from repro.dram.config import DRAMConfig
 from repro.utils.rng import DeterministicRng
-from repro.workloads.trace import TraceRecord
+from repro.workloads.trace import (
+    TRACE_BLOCK_DTYPE,
+    TRACE_BLOCK_RECORDS,
+    TraceChunks,
+    TraceRecord,
+    iter_block,
+)
 
 if TYPE_CHECKING:
     from repro.workloads.suites import WorkloadSpec
@@ -60,6 +66,9 @@ BACKGROUND_SCAN_FRACTION = 0.7
 # hot rotation is accessed back-to-back, which is what makes
 # BlockHammer's pacing delays bite (Figure 11).
 BURST_HOT_PROBABILITY = 0.9
+
+# Records per hot-heavy burst at the head of each burst cycle.
+BURST_LENGTH = 64
 
 
 def estimated_ipc(mpki: float, peak: float = 4.0) -> float:
@@ -228,27 +237,123 @@ class SyntheticTraceGenerator:
         self._scan_cursor = self._rng.randint(
             0, max(1, self._footprint_rows * self.SCAN_ACCESSES_PER_ROW)
         )
-
-    # ------------------------------------------------------------------
-    # Stream
-    # ------------------------------------------------------------------
-    def records(self, count: int) -> Iterator[TraceRecord]:
-        """Yield ``count`` trace records."""
-        yield from itertools.islice(self._record_stream(), count)
-
-    def _record_stream(self) -> Iterator[TraceRecord]:
-        gen = self._rng.generator
-        batch = 4096
+        self._hot_array = np.asarray(self._hot_addresses, dtype=np.int64)
+        # Deterministic periodic bursts: the first BURST_LENGTH records
+        # of every cycle are hot-heavy, giving the temporal clustering
+        # real hammering phases have.
         burst_duty = (
             min(1.0, self._hot_probability / BURST_HOT_PROBABILITY)
             if self._hot_addresses
             else 0.0
         )
-        # Deterministic periodic bursts: the first `burst_len` records
-        # of every cycle are hot-heavy, giving the temporal clustering
-        # real hammering phases have.
-        burst_len = 64
-        cycle_len = int(burst_len / burst_duty) if burst_duty > 0 else 0
+        self._cycle_len = int(BURST_LENGTH / burst_duty) if burst_duty > 0 else 0
+
+    # ------------------------------------------------------------------
+    # Stream
+    # ------------------------------------------------------------------
+    def records(self, count: int) -> Iterator[TraceRecord]:
+        """Yield ``count`` trace records.
+
+        Thin adaptor over :meth:`blocks`: the columnar path is the one
+        implementation; this view materializes one ``TraceRecord`` per
+        row for scalar consumers.
+        """
+        for block in self.blocks(count):
+            yield from iter_block(block)
+
+    def chunks(self, count: int) -> TraceChunks:
+        """``count`` records as a columnar :class:`TraceChunks` source."""
+        return TraceChunks(self.blocks(count))
+
+    def blocks(self, count: int) -> Iterator[np.ndarray]:
+        """Yield ``count`` records as numpy blocks (the fast path).
+
+        Blocks carry :data:`TRACE_BLOCK_RECORDS` rows (final block
+        truncated). RNG batches are always drawn at full block size —
+        draw-for-draw what the pre-columnar per-record stream consumed —
+        so any prefix of the stream is byte-identical however it is
+        chunked, and identical to :meth:`records_reference`.
+        """
+        position = 0
+        remaining = count
+        while remaining > 0:
+            take = min(remaining, TRACE_BLOCK_RECORDS)
+            yield self._build_block(position, take)
+            position += TRACE_BLOCK_RECORDS
+            remaining -= take
+
+    def _build_block(self, position: int, take: int) -> np.ndarray:
+        """Materialize the next ``take`` records, fully vectorized.
+
+        The three access classes of the scalar reference are resolved
+        as masks: hot-burst membership first, then the streaming scan,
+        then uniform lines over the footprint. Rotation cursors advance
+        by each class's population count — consecutive hot (or scan)
+        accesses draw consecutive cursor values exactly as the
+        per-record implementation does.
+        """
+        gen = self._rng.generator
+        batch = TRACE_BLOCK_RECORDS
+        gaps = gen.geometric(1.0 / self._mean_gap, size=batch)
+        hot_draw = gen.random(size=batch)
+        write_draw = gen.random(size=batch)
+        scan_draw = gen.random(size=batch)
+        random_lines = gen.integers(0, self._footprint_lines, size=batch)
+        if take < batch:
+            gaps = gaps[:take]
+            hot_draw = hot_draw[:take]
+            write_draw = write_draw[:take]
+            scan_draw = scan_draw[:take]
+            random_lines = random_lines[:take]
+
+        if self._cycle_len > 0:
+            pos = np.arange(position, position + take, dtype=np.int64)
+            hot_mask = (pos % self._cycle_len < BURST_LENGTH) & (
+                hot_draw < BURST_HOT_PROBABILITY
+            )
+        else:
+            hot_mask = np.zeros(take, dtype=bool)
+        scan_mask = ~hot_mask & (scan_draw < BACKGROUND_SCAN_FRACTION)
+
+        # Background random lines everywhere, then overwrite the hot and
+        # scan positions (cheaper than three scatter passes).
+        addresses = (
+            self._region_base_line + random_lines
+        ) * self.config.line_size_bytes
+        hot_count = int(hot_mask.sum())
+        if hot_count:
+            rotation = len(self._hot_addresses)
+            indices = (
+                self._hot_cursor + np.arange(hot_count, dtype=np.int64)
+            ) % rotation
+            addresses[hot_mask] = self._hot_array[indices]
+            self._hot_cursor = (self._hot_cursor + hot_count) % rotation
+        scan_count = int(scan_mask.sum())
+        if scan_count:
+            cursors = self._scan_cursor + np.arange(scan_count, dtype=np.int64)
+            addresses[scan_mask] = self._scan_addresses(cursors)
+            self._scan_cursor += scan_count
+
+        block = np.empty(take, dtype=TRACE_BLOCK_DTYPE)
+        block["gap"] = gaps
+        block["address"] = addresses
+        block["is_write"] = write_draw < self.write_fraction
+        return block
+
+    def records_reference(self, count: int) -> Iterator[TraceRecord]:
+        """The pre-columnar per-record stream, kept as the oracle.
+
+        The equivalence suite replays this against :meth:`records` /
+        :meth:`blocks` to prove the vectorization changed nothing. Use
+        a dedicated generator instance: both paths consume the same RNG
+        and cursors.
+        """
+        yield from itertools.islice(self._record_stream_reference(), count)
+
+    def _record_stream_reference(self) -> Iterator[TraceRecord]:
+        gen = self._rng.generator
+        batch = TRACE_BLOCK_RECORDS
+        cycle_len = self._cycle_len
         position = 0
         while True:
             gaps = gen.geometric(1.0 / self._mean_gap, size=batch)
@@ -257,7 +362,7 @@ class SyntheticTraceGenerator:
             scan_draw = gen.random(size=batch)
             random_lines = gen.integers(0, self._footprint_lines, size=batch)
             for i in range(batch):
-                in_burst = cycle_len > 0 and position % cycle_len < burst_len
+                in_burst = cycle_len > 0 and position % cycle_len < BURST_LENGTH
                 position += 1
                 if in_burst and hot_draw[i] < BURST_HOT_PROBABILITY:
                     address = self._next_hot_address()
@@ -353,3 +458,18 @@ class SyntheticTraceGenerator:
         return self._mapper.encode(
             DecodedAddress(channel=channel, rank=0, bank=bank, row=row, column=column)
         )
+
+    def _scan_addresses(self, cursors: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_next_scan_address` over a cursor array."""
+        config = self.config
+        per_row = self.SCAN_ACCESSES_PER_ROW
+        stride = max(1, config.lines_per_row // per_row)
+        column = (cursors % per_row) * stride
+        chunk = (cursors // per_row) % self._footprint_rows
+        channel = chunk % config.channels
+        bank = (chunk // config.channels + self.core_id * 5) % config.banks_per_rank
+        row = (
+            self._region_base_row
+            + chunk // (config.channels * config.banks_per_rank)
+        ) % config.rows_per_bank
+        return self._mapper.encode_batch(channel, 0, bank, row, column)
