@@ -10,9 +10,13 @@ simulation is feasible.
 
 import pytest
 
-from repro.analysis.buckets import BucketsAndBalls
 from repro.analysis.report import render_table
-from repro.analysis.security import attack_iterations, duty_cycle, table4_rows
+from repro.analysis.security import (
+    attack_iterations,
+    duty_cycle,
+    table4_rows,
+    validate_window_model,
+)
 from repro.utils.units import format_seconds
 
 PAPER = {960: (9.3e6, "6.9 days"), 800: (1.9e9, "3.8 years"), 685: (3.8e11, "762 years")}
@@ -94,17 +98,34 @@ def test_table4_all_bank_attack(benchmark, record_result):
 
 
 def test_security_model_monte_carlo_validation(benchmark, record_result):
-    """Validate Eq. 1-3 against simulation at a feasible scale."""
-    experiment = BucketsAndBalls(
-        buckets=512, balls_per_window=512, target_balls=4, seed=9
+    """Validate Eq. 1-3 against simulation at a feasible scale.
+
+    The vectorized buckets-and-balls engine (bit-identical to the old
+    scalar loop, ~100x faster) affords wide trial budgets: the
+    historical k=4 point runs 50K trials (was 600, rel=0.5 tolerance)
+    and a rare-event k=6 point — where 600 trials would collect only
+    ~150 hits — runs 100K trials, both with tolerances an order of
+    magnitude tighter.
+    """
+    dense = benchmark.pedantic(
+        validate_window_model,
+        kwargs={"target_balls": 4, "trials": 50_000},
+        rounds=1,
+        iterations=1,
     )
-    analytic = experiment.analytic_window_probability()
-    measured = benchmark.pedantic(
-        experiment.success_probability, kwargs={"trials": 600}, rounds=1, iterations=1
-    )
+    rare = validate_window_model(target_balls=6, trials=100_000)
     record_result(
         "table4_monte_carlo",
-        "Model validation (N=512, B=512, k=4): "
-        f"analytic P(window)={analytic:.4f}, Monte Carlo={measured:.4f}",
+        "Model validation (N=512, B=512):\n"
+        f"  k=4, {dense.trials} trials: analytic P(window)={dense.analytic:.4f}, "
+        f"Monte Carlo={dense.measured:.4f} (SE={dense.std_error:.2e})\n"
+        f"  k=6, {rare.trials} trials: analytic P(window)={rare.analytic:.4f}, "
+        f"Monte Carlo={rare.measured:.4f} (SE={rare.std_error:.2e})",
     )
-    assert measured == pytest.approx(analytic, rel=0.5)
+    assert dense.trials >= 50_000 and rare.trials >= 50_000
+    assert dense.measured == pytest.approx(dense.analytic, rel=0.02)
+    assert rare.measured == pytest.approx(rare.analytic, rel=0.05)
+    # The wide budget actually resolves the rare event: thousands of
+    # hits, and the binomial noise floor sits well under the tolerance.
+    assert rare.hits > 1_000
+    assert rare.std_error < 0.01 * rare.analytic

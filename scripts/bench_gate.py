@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""CI bench gate: fail when serial throughput regresses vs the baseline.
+"""CI bench gate: fail when bench throughput regresses vs the baseline.
 
-Compares the ``serial_requests_per_second`` headline of a fresh
-``benchmarks/results/BENCH_throughput.json`` (produced by running
-``bench_throughput.py``) against the committed baseline — by default
-the version of that file at ``HEAD``, so the gate works after the
-bench run has overwritten the working-tree copy.
+Two gated baselines, both compared against the committed version of
+the results file at ``HEAD`` (so the gate works after a bench run has
+overwritten the working-tree copy):
 
-The gate fails when the fresh number falls more than ``--tolerance``
-(default 20%) below the baseline. The tolerance absorbs shared-runner
+* ``BENCH_throughput.json`` — the ``serial_requests_per_second``
+  headline from ``bench_throughput.py``;
+* ``BENCH_mitigation.json`` — per-mitigation
+  ``batched_activations_per_second`` from ``bench_mitigation.py``
+  (skipped with a note when either side lacks the file, so the gate
+  still runs on branches that predate it).
+
+The gate fails when a fresh number falls more than ``--tolerance``
+(default 20%) below its baseline. The tolerance absorbs shared-runner
 noise that the benchmark's min-of-N timing cannot: CI machines differ
 in clock speed and neighbours, so only a regression well outside that
 band is attributable to the code. Genuine hot-path regressions land
-far beyond 20%; see the ``history`` array in the results file for the
+far beyond 20%; see the ``history`` array in the results files for the
 trajectory.
 
 Both runs must use the same ``records_per_core`` — requests/second is
@@ -32,13 +37,15 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS = REPO_ROOT / "benchmarks" / "results" / "BENCH_throughput.json"
+MITIGATION_RESULTS = REPO_ROOT / "benchmarks" / "results" / "BENCH_mitigation.json"
 METRIC = "serial_requests_per_second"
+MITIGATION_METRIC = "batched_activations_per_second"
 
 
-def _committed_baseline() -> dict:
-    """The results file as committed at HEAD."""
+def _committed_baseline(path: Path = RESULTS) -> dict:
+    """A results file as committed at HEAD."""
     probe = subprocess.run(
-        ["git", "show", f"HEAD:{RESULTS.relative_to(REPO_ROOT).as_posix()}"],
+        ["git", "show", f"HEAD:{path.relative_to(REPO_ROOT).as_posix()}"],
         capture_output=True,
         text=True,
         cwd=REPO_ROOT,
@@ -48,6 +55,88 @@ def _committed_baseline() -> dict:
             f"bench-gate: cannot read committed baseline: {probe.stderr.strip()}"
         )
     return json.loads(probe.stdout)
+
+
+def _committed_mitigation_baseline() -> dict | None:
+    """HEAD's mitigation baseline, or None when it predates the file."""
+    probe = subprocess.run(
+        ["git", "show", f"HEAD:{MITIGATION_RESULTS.relative_to(REPO_ROOT).as_posix()}"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if probe.returncode != 0:
+        return None
+    return json.loads(probe.stdout)
+
+
+def _gate(label: str, base: float, now: float, tolerance: float) -> bool:
+    """Print one gate line; True when ``now`` clears the floor."""
+    floor = base * (1.0 - tolerance)
+    ratio = now / base if base else float("inf")
+    print(
+        f"bench-gate: {label} {now:,.0f} vs baseline {base:,.0f} "
+        f"= {ratio:.2f}x; floor {floor:,.0f} (tolerance {tolerance:.0%})"
+    )
+    if now < floor:
+        print(
+            f"bench-gate: FAIL — {label} regressed {1.0 - ratio:.0%} "
+            f"(> {tolerance:.0%} allowed)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _gate_mitigations(args) -> bool:
+    """Gate every mitigation's batched activation rate; True on pass.
+
+    Missing files (either side) skip the gate rather than failing: the
+    mitigation baseline arrived later than the throughput one, and a
+    bench run may legitimately produce only the throughput file.
+    """
+    if args.mitigation_baseline is None:
+        baseline = _committed_mitigation_baseline()
+        baseline_name = "HEAD:benchmarks/results/BENCH_mitigation.json"
+    else:
+        baseline = json.loads(Path(args.mitigation_baseline).read_text())
+        baseline_name = args.mitigation_baseline
+    fresh_path = Path(args.mitigation_fresh)
+    if baseline is None:
+        print("bench-gate: no committed mitigation baseline yet — skipping")
+        return True
+    if not fresh_path.exists():
+        print(
+            f"bench-gate: no fresh mitigation results at {fresh_path} — "
+            "run benchmarks/bench_mitigation.py to gate the activation path"
+        )
+        return True
+    fresh = json.loads(fresh_path.read_text())
+    if fresh["records_per_core"] != baseline["records_per_core"]:
+        raise SystemExit(
+            "bench-gate: mitigation run lengths differ — baseline "
+            f"records_per_core={baseline['records_per_core']}, fresh="
+            f"{fresh['records_per_core']}; rerun the bench with "
+            f"REPRO_BENCH_RECORDS={baseline['records_per_core']}"
+        )
+    ok = True
+    for name, base_row in sorted(baseline["mitigations"].items()):
+        fresh_row = fresh["mitigations"].get(name)
+        if fresh_row is None:
+            print(
+                f"bench-gate: FAIL — mitigation {name!r} present in "
+                f"{baseline_name} but missing from the fresh run",
+                file=sys.stderr,
+            )
+            ok = False
+            continue
+        ok &= _gate(
+            f"{name} {MITIGATION_METRIC}",
+            base_row[MITIGATION_METRIC],
+            fresh_row[MITIGATION_METRIC],
+            args.tolerance,
+        )
+    return ok
 
 
 def main(argv=None) -> int:
@@ -67,6 +156,16 @@ def main(argv=None) -> int:
         type=float,
         default=0.20,
         help="allowed fractional regression before failing (default: 0.20)",
+    )
+    parser.add_argument(
+        "--mitigation-baseline",
+        default=None,
+        help="mitigation baseline JSON (default: committed file at HEAD)",
+    )
+    parser.add_argument(
+        "--mitigation-fresh",
+        default=str(MITIGATION_RESULTS),
+        help=f"fresh mitigation results to gate (default: {MITIGATION_RESULTS})",
     )
     args = parser.parse_args(argv)
 
@@ -92,21 +191,12 @@ def main(argv=None) -> int:
             f"REPRO_BENCH_RECORDS={baseline['records_per_core']}"
         )
 
-    base = baseline[METRIC]
-    now = fresh[METRIC]
-    floor = base * (1.0 - args.tolerance)
-    ratio = now / base
-    print(
-        f"bench-gate: serial {now:,.0f} req/s vs baseline {base:,.0f} req/s "
-        f"({baseline_name}) = {ratio:.2f}x; floor {floor:,.0f} req/s "
-        f"(tolerance {args.tolerance:.0%})"
+    print(f"bench-gate: throughput baseline {baseline_name}")
+    ok = _gate(
+        f"serial {METRIC}", baseline[METRIC], fresh[METRIC], args.tolerance
     )
-    if now < floor:
-        print(
-            f"bench-gate: FAIL — serial throughput regressed "
-            f"{1.0 - ratio:.0%} (> {args.tolerance:.0%} allowed)",
-            file=sys.stderr,
-        )
+    ok &= _gate_mitigations(args)
+    if not ok:
         return 1
     print("bench-gate: OK")
     return 0

@@ -48,8 +48,37 @@ class BucketsAndBalls:
                 return window
         return None
 
-    def success_probability(self, trials: int = 200) -> float:
-        """Fraction of single windows in which some bucket reaches k."""
+    def success_probability(
+        self, trials: int = 200, chunk_draws: int = 4_000_000
+    ) -> float:
+        """Fraction of single windows in which some bucket reaches k.
+
+        Vectorized: windows are drawn in 2-D chunks and counted with one
+        offset ``bincount`` per chunk. ``Generator.integers`` fills a
+        ``(n, balls)`` array from the same bit stream as ``n``
+        sequential size-``balls`` draws, so every window sees exactly
+        the throws the scalar reference produces — bit-identical hit
+        counts, ~100x the trial budget per second.
+        """
+        rng = DeterministicRng(self.seed, "bnb-prob").generator
+        buckets = self.buckets
+        balls = self.balls_per_window
+        chunk = max(1, chunk_draws // max(balls, 1))
+        hits = 0
+        remaining = trials
+        while remaining:
+            n = chunk if chunk < remaining else remaining
+            throws = rng.integers(0, buckets, size=(n, balls))
+            throws += np.arange(n, dtype=np.int64)[:, None] * buckets
+            counts = np.bincount(throws.ravel(), minlength=n * buckets)
+            window_max = counts.reshape(n, buckets).max(axis=1)
+            hits += int((window_max >= self.target_balls).sum())
+            remaining -= n
+        return hits / trials
+
+    def success_probability_reference(self, trials: int = 200) -> float:
+        """Scalar oracle for :meth:`success_probability` (one window per
+        draw call) — kept for the equivalence tests."""
         rng = DeterministicRng(self.seed, "bnb-prob").generator
         hits = 0
         for _ in range(trials):

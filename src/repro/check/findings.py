@@ -76,6 +76,14 @@ RULES: Dict[str, tuple] = {
         "simulation packages must stay silent — report through returned "
         "metrics or the repro.obs tracer, not stdout",
     ),
+    "RRS010": (
+        "unseeded-generator",
+        "unseeded `default_rng()` or a legacy module-level "
+        "`np.random.*` call inside a simulation package; every "
+        "`Generator` must be seeded through "
+        "repro.utils.rng.DeterministicRng so the stream is a pure "
+        "function of the SweepPoint seed",
+    ),
     # Non-linter pillars reuse the Finding shape under these ids.
     "SALT001": (
         "cache-salt-drift",

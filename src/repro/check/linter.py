@@ -1,4 +1,4 @@
-"""AST determinism linter (rules RRS001-RRS009).
+"""AST determinism linter (rules RRS001-RRS010).
 
 The cache in :mod:`repro.exec.cache` replays results keyed only by the
 :class:`~repro.exec.runner.SweepPoint`; that is sound *only if* every
@@ -183,8 +183,62 @@ class _FileVisitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # ------------------------------------------------------------------
+    # Unseeded generators (RRS010)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_default_rng(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "default_rng"
+        return isinstance(func, ast.Attribute) and func.attr == "default_rng"
+
+    @staticmethod
+    def _seed_argument_missing(node: ast.Call) -> bool:
+        """True when default_rng() gets no seed (or an explicit None)."""
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                )
+        return True
+
+    def _check_unseeded_generator(self, node: ast.Call) -> None:
+        func = node.func
+        if self._is_default_rng(func):
+            # Seeded default_rng via np.random is RRS001's business
+            # (raw numpy.random use); RRS010 only polices the seed.
+            if self._seed_argument_missing(node):
+                self._add(
+                    "RRS010",
+                    node,
+                    "unseeded default_rng() draws OS entropy; derive a "
+                    "seeded stream from repro.utils.rng.DeterministicRng",
+                )
+            return
+        # Legacy module-level API: np.random.randint(...) and friends
+        # share one hidden global BitGenerator across the process.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self._numpy_aliases
+        ):
+            self._add(
+                "RRS010",
+                node,
+                f"module-level np.random.{func.attr}() uses the hidden "
+                "process-global generator; thread a seeded Generator "
+                "from repro.utils.rng.DeterministicRng instead",
+            )
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        self._check_unseeded_generator(node)
         if isinstance(func, ast.Attribute):
             owner = func.value
             if isinstance(owner, ast.Name):

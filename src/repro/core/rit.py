@@ -67,14 +67,19 @@ class RowIndirectionTable:
         self._cat: Optional[CollisionAvoidanceTable] = (
             CollisionAvoidanceTable(RIT_CAT_CONFIG, seed=seed) if use_cat else None
         )
+        # Plain logical->physical int mapping mirroring ``_map`` (which
+        # carries the window/lock metadata): the per-access lookup is
+        # one ``dict.get(row, row)`` with no attribute hop, and the
+        # controller's inline fast path reads this dict directly. Kept
+        # in sync by the two mutation choke points below.
+        self.forward: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lookup path (on every memory access)
     # ------------------------------------------------------------------
     def route(self, row: int) -> int:
         """Physical row holding ``row``'s data (itself when unswapped)."""
-        entry = self._map.get(row)
-        return row if entry is None else entry.physical
+        return self.forward.get(row, row)
 
     def resident_of(self, physical: int) -> int:
         """Logical row whose data occupies a physical location."""
@@ -152,6 +157,7 @@ class RowIndirectionTable:
     def _remove_forward(self, row: int) -> Optional[RITEntry]:
         entry = self._map.pop(row, None)
         if entry is not None:
+            del self.forward[row]
             self._inverse.pop(entry.physical, None)
             if self._cat is not None:
                 self._cat.remove(row)
@@ -161,6 +167,7 @@ class RowIndirectionTable:
         if row == physical:
             return  # identity mappings are simply absent
         self._map[row] = RITEntry(physical=physical, window=window)
+        self.forward[row] = physical
         self._inverse[physical] = row
         if self._cat is not None:
             self._cat.insert(row, physical)

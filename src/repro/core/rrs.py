@@ -31,12 +31,13 @@ from repro.core.swap import SwapEngine
 from repro.dram.config import DRAMConfig
 from repro.mitigations.base import (
     BankKey,
-    Mitigation,
     MitigationOutcome,
+    NO_DEADLINE,
     NOOP_OUTCOME,
 )
+from repro.mitigations.batching import BankBatchedMitigation
+from repro.track.array_state import ArrayMisraGries
 from repro.track.cat_tracker import CATMisraGriesTracker
-from repro.track.misra_gries import MisraGriesTracker
 
 
 class SwapRateDetector:
@@ -82,7 +83,7 @@ class _BankState:
     swaps_this_window: int = 0
 
 
-class RandomizedRowSwap(Mitigation):
+class RandomizedRowSwap(BankBatchedMitigation):
     """The paper's defense, pluggable into :class:`MemoryController`."""
 
     name = "RRS"
@@ -111,6 +112,10 @@ class RandomizedRowSwap(Mitigation):
         # (existing and lazily created) so per-op swap/unswap telemetry
         # reaches the metrics registry. Read-only, like `tracer`.
         self.engine_observer = None
+        # Batched fast path: per-channel route views (flat bank index
+        # -> the bank RIT's sparse forward dict, or None=identity),
+        # populated lazily the first time a bank swaps.
+        self._route_views: Dict[int, List[Optional[Dict[int, int]]]] = {}
 
     # ------------------------------------------------------------------
     # Mitigation interface
@@ -146,6 +151,7 @@ class RandomizedRowSwap(Mitigation):
 
     def on_window_end(self, window_index: int) -> None:
         """Epoch rollover: reset trackers, clear RIT lock bits."""
+        self._flush_batch_buffers()
         self.window += 1
         self.swap_history.append(self._swaps_this_window)
         self._swaps_this_window = 0
@@ -155,6 +161,32 @@ class RandomizedRowSwap(Mitigation):
             state.swaps_this_window = 0
         if self.detector is not None:
             self.detector.end_window()
+        self._reset_batch_credits()
+
+    # ------------------------------------------------------------------
+    # Batched activation path (mixin hooks)
+    # ------------------------------------------------------------------
+    def make_batch_state(self, channel, bank_keys):
+        state = super().make_batch_state(channel, bank_keys)
+        view: List[Optional[Dict[int, int]]] = [None] * len(state.keys)
+        for i, key in enumerate(state.keys):
+            bank = self._banks.get(key)
+            if bank is not None:
+                view[i] = bank.rit.forward
+        self._route_views[channel] = view
+        return state
+
+    def route_tables(self, channel):
+        return self._route_views.get(channel)
+
+    def _apply_deferred(self, bank_key, rows, times, count):
+        self._bank(bank_key).tracker.observe_block(rows, count)
+
+    def _batch_credit(self, bank_key):
+        return (
+            self._bank(bank_key).tracker.noop_horizon(self.config.t_rrs),
+            NO_DEADLINE,
+        )
 
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """SRAM bits per bank (Table 5 geometry; see analysis.storage)."""
@@ -196,7 +228,12 @@ class RandomizedRowSwap(Mitigation):
                     entries=self.config.tracker_entries, seed=seed
                 )
             else:
-                tracker = MisraGriesTracker(entries=self.config.tracker_entries)
+                # Array-state HRT: Figure-3 semantics with slot storage
+                # and a defined tie-break. At Invariant-1 sizing the
+                # spill counter never reaches the bucket minimum, so no
+                # eviction (hence no tie-break) ever fires and results
+                # match the set-based reference bit-for-bit.
+                tracker = ArrayMisraGries(entries=self.config.tracker_entries)
             state = _BankState(
                 tracker=tracker,
                 rit=RowIndirectionTable(
@@ -214,6 +251,16 @@ class RandomizedRowSwap(Mitigation):
     ) -> MitigationOutcome:
         destination = self._pick_destination(state, row)
         ops = state.rit.swap(row, destination)
+        view = self._route_views.get(bank_key[0])
+        if view is not None:
+            # First swap for this bank under the batched fast path:
+            # publish its RIT forward dict into the controller's view
+            # (identity until now). Idempotent — the dict is shared, so
+            # later swaps mutate it in place.
+            batch = self._batch_states[bank_key[0]]
+            index = batch.index_of[bank_key]
+            if view[index] is None:
+                view[index] = state.rit.forward
         engine = self.swap_engine(bank_key[0])
         blocked_ns = engine.execute(ops)
         self.total_swaps += 1

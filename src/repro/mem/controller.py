@@ -10,6 +10,7 @@ row swaps.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.dram.address import AddressMapper
@@ -76,6 +77,16 @@ class MemoryController:
         # per-request quantity.
         self._line_transfer_ns = config.line_transfer_ns
         self._lookup_ns = mitigation.lookup_latency_ns()
+        # Timing scalars for the inline DDR fast path in service():
+        # every bank on the channel shares this config, so one copy of
+        # the cached fields in BankTimingState.__post_init__ suffices.
+        self._t_cas = config.t_cas
+        self._t_rcd = config.t_rcd
+        self._t_rp = config.t_rp
+        self._t_rc = config.t_rc
+        self._t_ras = config.t_ras_ns
+        self._rows_per_bank = config.rows_per_bank
+        self._inline_timing = config.page_policy != "closed"
         # Flat (rank-major) bank table: one index replaces the
         # rank-then-bank double hop through Channel.bank().
         self._banks_per_rank = config.banks_per_rank
@@ -99,6 +110,36 @@ class MemoryController:
         # probes (request completions, throttles, mitigation actions).
         # Disabled cost is one `is None` test per serviced request.
         self.obs = None
+        # Batched activation path (DESIGN.md §9). Hook-override flags
+        # let the hot loop skip virtual calls that are base no-ops
+        # (NoMitigation pays nothing; only BlockHammer pays the
+        # pre-activate probe; only RRS pays the route lookup). The env
+        # toggle deliberately lives outside SystemConfig: batched and
+        # scalar runs are bit-identical, so the switch must not perturb
+        # result-cache keys.
+        mitigation_type = type(mitigation)
+        self._has_route = mitigation_type.route is not Mitigation.route
+        self._has_pre_delay = (
+            mitigation_type.pre_activate_delay_ns
+            is not Mitigation.pre_activate_delay_ns
+        )
+        self._mitigates_acts = (
+            mitigation_type.on_activation is not Mitigation.on_activation
+        )
+        self._batch = None
+        self._batch_global = False
+        self._route_tables = None
+        if mitigation.batch_scope is not None and os.environ.get(
+            "REPRO_BATCH_MITIGATION", "1"
+        ) != "0":
+            keys = [
+                (channel.index, bank.rank, bank.index)
+                for bank in self._bank_table
+            ]
+            self._batch = mitigation.make_batch_state(channel.index, keys)
+            if self._batch is not None:
+                self._batch_global = mitigation.batch_scope == "global"
+                self._route_tables = mitigation.route_tables(channel.index)
 
     def service(self, request: MemoryRequest) -> float:
         """Service one request synchronously; returns completion time.
@@ -117,9 +158,21 @@ class MemoryController:
                 f"controller of channel {self.channel.index}"
             )
 
-        bank = self._bank_table[decoded.rank * self._banks_per_rank + decoded.bank]
+        flat_bank = decoded.rank * self._banks_per_rank + decoded.bank
+        bank = self._bank_table[flat_bank]
         bank_key = decoded.bank_key
-        physical_row = self.mitigation.route(bank_key, decoded.row)
+        row = decoded.row
+        route_tables = self._route_tables
+        if route_tables is not None:
+            # Per-bank route view (RRS): None = identity bank, else the
+            # bank RIT's sparse forward dict — one get() per access,
+            # exactly Mitigation.route() without the method call.
+            table = route_tables[flat_bank]
+            physical_row = row if table is None else table.get(row, row)
+        elif self._has_route:
+            physical_row = self.mitigation.route(bank_key, row)
+        else:
+            physical_row = row
         request.physical_row = physical_row
 
         if request.is_write and self.write_queue_capacity:
@@ -138,7 +191,7 @@ class MemoryController:
             return request.completion_ns
 
         start_floor = request.arrival_ns + self._lookup_ns
-        if bank.timing.open_row != physical_row:
+        if self._has_pre_delay and bank.timing.open_row != physical_row:
             delay = self.mitigation.pre_activate_delay_ns(
                 bank_key, physical_row, start_floor
             )
@@ -148,14 +201,68 @@ class MemoryController:
                     self.obs.on_throttle(bank_key, physical_row, start_floor, delay)
                 start_floor += delay
 
-        outcome = bank.access(physical_row, start_floor)
-        line_transfer_ns = self._line_transfer_ns
-        data_start = self.channel.reserve_bus(outcome.data_ns, line_transfer_ns)
-        completion = data_start + line_transfer_ns
+        # Inline DDR timing fast path: an open-page bank with no command
+        # observer and no fault model skips the Bank/BankTimingState
+        # call pair and the per-request AccessOutcome allocation — the
+        # arithmetic below is BankTimingState.access line for line
+        # (identical max() tie-breaks, so times are bit-identical).
+        # Observed, faulted, closed-page, or out-of-range accesses take
+        # the reference path.
+        timing = bank.timing
+        if (
+            self._inline_timing
+            and timing.observer is None
+            and bank.disturbance is None
+            and 0 <= physical_row < self._rows_per_bank
+        ):
+            ready = timing.ready_ns
+            start = start_floor if start_floor > ready else ready
+            if timing.open_row == physical_row:
+                data = start + self._t_cas
+                timing.ready_ns = data
+                hit = True
+                activated = False
+            else:
+                last_act = timing.last_act_ns
+                if timing.open_row >= 0:
+                    pre_at = last_act + self._t_ras
+                    if start >= pre_at:
+                        pre_at = start
+                    act_at = pre_at + self._t_rp
+                    floor = last_act + self._t_rc
+                    if floor > act_at:
+                        act_at = floor
+                else:
+                    act_at = last_act + self._t_rc
+                    if start >= act_at:
+                        act_at = start
+                data = act_at + self._t_rcd + self._t_cas
+                timing.open_row = physical_row
+                timing.last_act_ns = act_at
+                timing.ready_ns = data
+                hit = False
+                activated = True
+                counts = bank.window_act_counts
+                counts[physical_row] = counts.get(physical_row, 0) + 1
+                bank.total_activations += 1
+        else:
+            outcome = bank.access(physical_row, start_floor)
+            start = outcome.start_ns
+            data = outcome.data_ns
+            hit = outcome.row_buffer_hit
+            activated = outcome.activated
 
-        request.start_ns = outcome.start_ns
+        # Bus reservation inline (Channel.reserve_bus, same max() rule).
+        line_transfer_ns = self._line_transfer_ns
+        channel = self.channel
+        bus_free = channel.bus_free_ns
+        data_start = data if data >= bus_free else bus_free
+        completion = data_start + line_transfer_ns
+        channel.bus_free_ns = completion
+
+        request.start_ns = start
         request.completion_ns = completion
-        request.row_buffer_hit = outcome.row_buffer_hit
+        request.row_buffer_hit = hit
 
         stats = self.stats
         if request.is_write:
@@ -164,37 +271,120 @@ class MemoryController:
             stats.reads += 1
         latency = completion - request.arrival_ns
         stats.total_latency_ns += latency
-        hit = outcome.row_buffer_hit
         if hit:
             stats.row_buffer_hits += 1
-        if outcome.activated:
+        if activated:
             stats.activations += 1
-            action = self.mitigation.on_activation(
-                bank_key, decoded.row, physical_row, completion
-            )
-            if not action.is_noop:
-                self._apply(action, bank, completion)
+            batch = self._batch
+            if (
+                batch is not None
+                and not self._batch_global
+                and batch.credits[flat_bank] > 0
+                and completion < batch.deadlines[flat_bank]
+            ):
+                # Defer fast path: the mitigation proved this activation
+                # cannot trigger an action, so just buffer it.
+                batch.credits[flat_bank] -= 1
+                batch.rows[flat_bank].append(row)
+                batch.times[flat_bank].append(completion)
+            else:
+                self._note_activation(
+                    bank_key, flat_bank, row, physical_row, bank, completion
+                )
         if self.obs is not None:
             self.obs.on_request(request, decoded, latency, hit)
         return completion
+
+    def _note_activation(
+        self,
+        bank_key,
+        flat_bank: int,
+        row: int,
+        physical_row: int,
+        bank,
+        now_ns: float,
+    ) -> None:
+        """Activation hook slow path: batch flushes, the global (PARA)
+        credit cell, and the scalar reference path. ``row`` is the
+        mitigation-observed row — logical for RRS (whose tracker indexes
+        logical rows; its scalar hook never reads ``physical_row``),
+        identical to ``physical_row`` for every identity-routing
+        defense. The bank-scope defer case is inlined at the service()
+        call site and only rechecked here for the cold write-drain path.
+        """
+        batch = self._batch
+        if batch is None:
+            if self._mitigates_acts:
+                action = self.mitigation.on_activation(
+                    bank_key, row, physical_row, now_ns
+                )
+                if not action.is_noop:
+                    self._apply(action, bank, now_ns)
+            return
+        if self._batch_global:
+            cell = batch.credits
+            if cell[0] > 0:
+                cell[0] -= 1
+                return
+            action = self.mitigation.on_activation_batch(
+                bank_key, (physical_row,), (now_ns,)
+            )
+            if not action.is_noop:
+                self._apply(action, bank, now_ns)
+            return
+        credits = batch.credits
+        credit = credits[flat_bank]
+        if credit > 0 and now_ns < batch.deadlines[flat_bank]:
+            credits[flat_bank] = credit - 1
+            batch.rows[flat_bank].append(row)
+            batch.times[flat_bank].append(now_ns)
+            return
+        if credit < 0:
+            # Opted-out bank (persistently zero horizon, see
+            # BankBatchedMitigation.OPT_OUT_STREAK): under a sustained
+            # hammer every "batch" is a run of one, so skip the buffer
+            # machinery and call the scalar oracle directly. Identical
+            # results by definition; the buffer is empty (opt-out only
+            # happens right after a flush).
+            action = self.mitigation.on_activation(
+                bank_key, row, physical_row, now_ns
+            )
+            if not action.is_noop:
+                self._apply(action, bank, now_ns)
+            return
+        # Credit exhausted or deadline passed: hand the buffered run
+        # plus this (possibly-acting) activation to the mitigation.
+        rows = batch.rows[flat_bank]
+        times = batch.times[flat_bank]
+        rows.append(row)
+        times.append(now_ns)
+        action = self.mitigation.on_activation_batch(bank_key, rows, times)
+        rows.clear()
+        times.clear()
+        if not action.is_noop:
+            self._apply(action, bank, now_ns)
 
     def _drain_writes(self, now_ns: float) -> None:
         """Burst-drain the write queue down to the low watermark."""
         while len(self._write_queue) > self.write_drain_low:
             write = self._write_queue.pop(0)
             decoded = write.decoded
-            bank = self.channel.bank(decoded.rank, decoded.bank)
+            flat_bank = decoded.rank * self._banks_per_rank + decoded.bank
+            bank = self._bank_table[flat_bank]
             outcome = bank.access(write.physical_row, now_ns)
-            self.channel.reserve_bus(outcome.data_ns, self.config.line_transfer_ns)
+            self.channel.reserve_bus(outcome.data_ns, self._line_transfer_ns)
             if outcome.row_buffer_hit:
                 self.stats.row_buffer_hits += 1
             if outcome.activated:
                 self.stats.activations += 1
-                action = self.mitigation.on_activation(
-                    decoded.bank_key, decoded.row, write.physical_row, outcome.data_ns
+                self._note_activation(
+                    decoded.bank_key,
+                    flat_bank,
+                    decoded.row,
+                    write.physical_row,
+                    bank,
+                    outcome.data_ns,
                 )
-                if not action.is_noop:
-                    self._apply(action, bank, outcome.data_ns)
 
     @property
     def pending_writes(self) -> int:

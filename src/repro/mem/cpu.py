@@ -176,7 +176,9 @@ class Core:
         """
         if not self._has_pending:
             raise RuntimeError("no pending trace record to issue")
-        issue_at = self.next_issue_time()
+        issue_at = self._pending_issue_ns
+        if issue_at is None:
+            issue_at = self._issue_time_for(self._pending_gap)
         self.time_ns = issue_at
         self._inst_issued += self._pending_gap + 1
         if self._chunked:
@@ -221,8 +223,17 @@ class Core:
                 arrival_ns=issue_at,
                 instruction_index=self._inst_issued,
             )
-        self._has_pending = False
         self._pending_issue_ns = None
+        if self._chunked:
+            # Inline the common _fetch step: next record in the same
+            # block. Block boundaries (and the scalar front end) take
+            # the full _fetch path.
+            next_idx = self._idx + 1
+            if next_idx < self._len:
+                self._idx = next_idx
+                self._pending_gap = self._gaps[next_idx]
+                return request
+        self._has_pending = False
         self._fetch()
         return request
 

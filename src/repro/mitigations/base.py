@@ -21,9 +21,46 @@ matching the paper's per-bank HRT/RIT sizing (Table 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 BankKey = Tuple[int, int, int]  # (channel, rank, bank)
+
+# Batched-path sentinels: a mitigation with no count bound on deferral
+# uses INFINITE_CREDIT (TRR defers on a time deadline instead); one
+# with no time bound uses NO_DEADLINE.
+INFINITE_CREDIT = 1 << 60
+NO_DEADLINE = float("inf")
+
+
+class ChannelBatchState:
+    """Per-channel activation-deferral state (DESIGN.md §9).
+
+    Created by :meth:`Mitigation.make_batch_state` and driven inline by
+    the controller: while ``credits[bank] > 0`` and the completion time
+    is before ``deadlines[bank]``, an activation is appended to the
+    bank's buffer instead of calling into the mitigation. Credits are
+    *guaranteed-noop horizons* — the mitigation proves that many future
+    activations cannot trigger any action — so buffered activations are
+    replayed in bulk at the next flush with bit-identical results.
+
+    The lists are shared by reference between the controller (which
+    decrements/appends) and the mitigation (which refreshes credits at
+    flushes and window ends); banks are indexed rank-major, matching
+    the controller's flat bank table.
+    """
+
+    __slots__ = ("channel", "keys", "credits", "deadlines", "rows", "times",
+                 "index_of")
+
+    def __init__(self, channel: int, bank_keys: Sequence[BankKey]) -> None:
+        self.channel = channel
+        self.keys: List[BankKey] = list(bank_keys)
+        n = len(self.keys)
+        self.credits: List[int] = [0] * n
+        self.deadlines: List[float] = [NO_DEADLINE] * n
+        self.rows: List[List[int]] = [[] for _ in range(n)]
+        self.times: List[List[float]] = [[] for _ in range(n)]
+        self.index_of = {key: i for i, key in enumerate(self.keys)}
 
 
 @dataclass
@@ -109,3 +146,42 @@ class Mitigation:
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """SRAM bits this defense needs per bank (0 for stateless)."""
         return 0
+
+    # ------------------------------------------------------------------
+    # Batched activation path (opt-in; scalar on_activation is the
+    # reference oracle — see DESIGN.md §9)
+    # ------------------------------------------------------------------
+    # "bank": per-bank credits/buffers; "global": one shared credit cell
+    # (PARA's rng draws are consumed in global activation order); None:
+    # no batch support, the controller uses the scalar path.
+    batch_scope: Optional[str] = None
+
+    def make_batch_state(
+        self, channel: int, bank_keys: Sequence[BankKey]
+    ) -> Optional[ChannelBatchState]:
+        """Create (and retain a reference to) one channel's deferral
+        state, with credits primed; None opts out of batching."""
+        return None
+
+    def on_activation_batch(
+        self,
+        bank_key: BankKey,
+        rows: Sequence[int],
+        cycles: Sequence[float],
+    ) -> MitigationOutcome:
+        """Process a run-grouped block of activations for one bank.
+
+        Contract: every element except the last is within a previously
+        granted noop horizon (provably cannot trigger an action); only
+        the final element — at ``cycles[-1]`` — may act, and its outcome
+        is returned. Implementations must refresh the bank's credit and
+        deadline in their batch state before returning.
+        """
+        raise NotImplementedError
+
+    def route_tables(self, channel: int) -> Optional[List[Optional[List[int]]]]:
+        """Dense per-bank logical->physical tables for the batched fast
+        path: a live list indexed like the controller's flat bank table,
+        ``None`` entries meaning identity. Returning None (the default)
+        makes the controller call :meth:`route` per access instead."""
+        return None

@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.mitigations.base import BankKey, Mitigation, MitigationOutcome, NOOP_OUTCOME
-from repro.track.misra_gries import MisraGriesTracker
+from repro.mitigations.base import (
+    BankKey,
+    MitigationOutcome,
+    NO_DEADLINE,
+    NOOP_OUTCOME,
+)
+from repro.mitigations.batching import BankBatchedMitigation
+from repro.track.array_state import ArrayMisraGries
 
 
-class Graphene(Mitigation):
+class Graphene(BankBatchedMitigation):
     """Per-bank Misra-Gries tracking + neighbour refresh."""
 
     name = "Graphene"
@@ -42,12 +48,15 @@ class Graphene(Mitigation):
         self.blast_radius = blast_radius
         self.rows_per_bank = rows_per_bank
         self.refreshes_issued = 0
-        self._trackers: Dict[BankKey, MisraGriesTracker] = {}
+        # Array-state HRT (defined lowest-slot tie-break; the reference
+        # set-based tracker remains the oracle for invariant tests —
+        # Invariant 1 holds under any tie-break).
+        self._trackers: Dict[BankKey, ArrayMisraGries] = {}
 
-    def _tracker(self, bank_key: BankKey) -> MisraGriesTracker:
+    def _tracker(self, bank_key: BankKey) -> ArrayMisraGries:
         tracker = self._trackers.get(bank_key)
         if tracker is None:
-            tracker = MisraGriesTracker.sized_for(
+            tracker = ArrayMisraGries.sized_for(
                 self.window_activations, self.threshold
             )
             self._trackers[bank_key] = tracker
@@ -75,8 +84,19 @@ class Graphene(Mitigation):
 
     def on_window_end(self, window_index: int) -> None:
         """Tracker state is per refresh window."""
+        self._flush_batch_buffers()
         for tracker in self._trackers.values():
             tracker.reset()
+        self._reset_batch_credits()
+
+    # ------------------------------------------------------------------
+    # Batched activation path (mixin hooks)
+    # ------------------------------------------------------------------
+    def _apply_deferred(self, bank_key, rows, times, count):
+        self._tracker(bank_key).observe_block(rows, count)
+
+    def _batch_credit(self, bank_key):
+        return self._tracker(bank_key).noop_horizon(self.threshold), NO_DEADLINE
 
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """Tracker entries x (row id + counter + valid)."""

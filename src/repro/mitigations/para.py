@@ -15,7 +15,15 @@ from __future__ import annotations
 
 import math
 
-from repro.mitigations.base import BankKey, Mitigation, MitigationOutcome, NOOP_OUTCOME
+import numpy as np
+
+from repro.mitigations.base import (
+    BankKey,
+    ChannelBatchState,
+    Mitigation,
+    MitigationOutcome,
+    NOOP_OUTCOME,
+)
 from repro.utils.rng import DeterministicRng
 
 
@@ -40,6 +48,16 @@ class PARA(Mitigation):
         self.rows_per_bank = rows_per_bank
         self._rng = DeterministicRng(seed, "para")
         self.refreshes_issued = 0
+        # Batched-path state: coin flips are consumed in *global*
+        # activation order (one shared rng across banks and channels),
+        # so the deferral credit is a single shared cell holding the
+        # number of draws until the next success. Draws are precomputed
+        # in chunks; Generator.random(n) consumes the bit stream
+        # identically to n scalar draws, so decisions are bit-identical
+        # to the scalar path.
+        self._draws = np.empty(0, dtype=np.float64)
+        self._hit = 0
+        self._credit_cell = None
 
     @classmethod
     def for_threshold(
@@ -66,3 +84,46 @@ class PARA(Mitigation):
         ]
         self.refreshes_issued += len(victims)
         return MitigationOutcome(refresh_rows=victims)
+
+    # ------------------------------------------------------------------
+    # Batched activation path (global scope: no buffers, just a shared
+    # countdown of guaranteed-miss coin flips)
+    # ------------------------------------------------------------------
+    batch_scope = "global"
+
+    _CHUNK = 4096
+
+    def make_batch_state(self, channel, bank_keys):
+        state = ChannelBatchState(channel, bank_keys)
+        if self._credit_cell is None:
+            self._credit_cell = [self._next_gap()]
+        state.credits = self._credit_cell  # one cell, shared by channels
+        return state
+
+    def on_activation_batch(self, bank_key, rows, cycles):
+        # The countdown expired: this activation's draw is the
+        # precomputed success. Consume it and refill the cell.
+        physical_row = rows[-1]
+        self._draws = self._draws[self._hit + 1:]
+        self._credit_cell[0] = self._next_gap()
+        victims = [
+            physical_row + offset
+            for distance in range(1, self.blast_radius + 1)
+            for offset in (-distance, distance)
+            if 0 <= physical_row + offset < self.rows_per_bank
+        ]
+        self.refreshes_issued += len(victims)
+        return MitigationOutcome(refresh_rows=victims)
+
+    def _next_gap(self) -> int:
+        """Draws until (excluding) the next success, extending the
+        precomputed block as needed."""
+        searched = 0
+        while True:
+            hits = np.nonzero(self._draws[searched:] < self.probability)[0]
+            if hits.size:
+                self._hit = searched + int(hits[0])
+                return self._hit
+            searched = len(self._draws)
+            more = self._rng.generator.random(self._CHUNK)
+            self._draws = np.concatenate([self._draws, more])

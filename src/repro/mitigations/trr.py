@@ -16,10 +16,16 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict
 
-from repro.mitigations.base import BankKey, Mitigation, MitigationOutcome, NOOP_OUTCOME
+from repro.mitigations.base import (
+    BankKey,
+    INFINITE_CREDIT,
+    MitigationOutcome,
+    NOOP_OUTCOME,
+)
+from repro.mitigations.batching import BankBatchedMitigation
 
 
-class TargetedRowRefresh(Mitigation):
+class TargetedRowRefresh(BankBatchedMitigation):
     """Sampling + per-tREFI neighbour refresh (in-DRAM TRR)."""
 
     name = "TRR"
@@ -63,3 +69,33 @@ class TargetedRowRefresh(Mitigation):
         ]
         self.refreshes_issued += len(victims)
         return MitigationOutcome(refresh_rows=victims)
+
+    # ------------------------------------------------------------------
+    # Batched activation path (mixin hooks). TRR acts on a *time*
+    # deadline, not a count: every activation completing before the
+    # bank's next tREFI opportunity is noop, so the credit is infinite
+    # and the deadline carries the deferral bound. No window-end hook:
+    # the sample is not window-scoped, so buffers stay pending.
+    # ------------------------------------------------------------------
+    def _apply_deferred(self, bank_key, rows, times, count):
+        sample = self._samples.setdefault(bank_key, Counter())
+        size = self.sample_size
+        if len(sample) >= size:
+            # Full sample: no admissions possible, only member
+            # increments — order-free, apply per unique row. Counter
+            # insertion order (the most_common tie-break) is untouched
+            # because no keys are created.
+            for row, hits in Counter(rows[:count]).items():
+                if row in sample:
+                    sample[row] += hits
+        else:
+            for i in range(count):
+                row = rows[i]
+                if len(sample) < size or row in sample:
+                    sample[row] += 1
+
+    def _batch_credit(self, bank_key):
+        return (
+            INFINITE_CREDIT,
+            self._next_trr_ns.get(bank_key, float(self.t_refi_ns)),
+        )

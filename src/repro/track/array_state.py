@@ -1,0 +1,289 @@
+"""Array-state Misra-Gries tracker: the batched-path hot-row tracker.
+
+Same Figure-3 semantics and Invariant-1 guarantee as the reference
+:class:`repro.track.misra_gries.MisraGriesTracker`, reorganized for the
+controller's batched ``on_activation`` path:
+
+* Counters live in stable *slots* (parallel ``_rows``/``_counts``
+  arrays) instead of dict churn — an eviction reuses the victim's slot,
+  so slot identity is as stable as a hardware CAM entry.
+* ``observe_block`` applies a run of guaranteed-noop activations as
+  bulk counter additions: each touched slot moves buckets once per
+  block instead of once per activation.
+* ``noop_horizon`` computes how many *future* activations are provably
+  unable to land any counter on a threshold multiple — the credit the
+  controller uses to defer scalar mitigation calls (DESIGN.md §9).
+
+Tie-break policy: the reference tracker evicts an arbitrary member of
+the minimum-count bucket (CPython set iteration order); this tracker
+evicts the *lowest slot index*, a defined rule that is reproducible
+from any implementation. Invariant 1 holds for any tie-break, and the
+property tests treat tie-break differences as allowed (as they already
+do for the CAT tracker). For RRS-sized trackers (Invariant-1 sizing)
+the spill counter never catches the minimum, so evictions never happen
+and results are bit-identical to the reference tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class ArrayMisraGries:
+    """Misra-Gries tracker with slot storage and block-apply support."""
+
+    __slots__ = ("entries", "spill", "_rows", "_counts", "_slot_of",
+                 "_buckets", "_min_count", "_residue_t", "_residue_hist",
+                 "_residue_max")
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("tracker needs at least one entry")
+        self.entries = entries
+        self.spill = 0
+        self._rows: List[int] = []  # slot -> row id
+        self._counts: List[int] = []  # slot -> estimate
+        self._slot_of: Dict[int, int] = {}  # row -> slot
+        self._buckets: Dict[int, Set[int]] = {}  # count -> slots
+        self._min_count = 0
+        # Residue histogram for O(1) noop_horizon: once a threshold T is
+        # seen, ``_residue_hist[r]`` counts live slots with count % T ==
+        # r and ``_residue_max`` upper-bounds the largest populated
+        # residue (fixed up lazily by scanning downward, <= T steps).
+        # Every bump/install/evict maintains it in O(1), so the horizon
+        # query never rescans the counter table — the scan that
+        # otherwise dominates flush cost for small scaled T_RRS.
+        self._residue_t = 0
+        self._residue_hist: Optional[List[int]] = None
+        self._residue_max = 0
+
+    @classmethod
+    def sized_for(cls, window_activations: int, threshold: int) -> "ArrayMisraGries":
+        """Invariant-1 sizing, N > W/T - 1 (matches the reference)."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return cls(entries=max(1, window_activations // threshold))
+
+    # ------------------------------------------------------------------
+    # Scalar path (the oracle's tracker operations)
+    # ------------------------------------------------------------------
+    def observe(self, row: int) -> int:
+        """Record one activation of ``row``; returns its new estimate."""
+        slot = self._slot_of.get(row)
+        if slot is not None:
+            count = self._counts[slot]
+            self._bump(slot, count, count + 1)
+            return count + 1
+
+        if len(self._slot_of) < self.entries:
+            return self._install(row, self.spill + 1)
+
+        if self.spill < self._min_count:
+            self.spill += 1
+            return 0
+
+        # Tie: replace the lowest-indexed minimum-count slot.
+        victim = min(self._buckets[self._min_count])
+        self._evict(victim)
+        return self._install(row, self.spill + 1, reuse_slot=victim)
+
+    def estimate(self, row: int) -> int:
+        """Current estimate for a row (0 if untracked)."""
+        slot = self._slot_of.get(row)
+        return 0 if slot is None else self._counts[slot]
+
+    def tracked_rows(self) -> Set[int]:
+        """The rows currently holding counters."""
+        return set(self._slot_of)
+
+    def rows_with_estimate_at_least(self, threshold: int) -> Set[int]:
+        """Rows whose estimate has reached ``threshold``."""
+        return {
+            row for row, slot in self._slot_of.items()
+            if self._counts[slot] >= threshold
+        }
+
+    def reset(self) -> None:
+        """Window rollover: drop all counters and the spill counter."""
+        self.spill = 0
+        self._rows.clear()
+        self._counts.clear()
+        self._slot_of.clear()
+        self._buckets.clear()
+        self._min_count = 0
+        self._residue_t = 0
+        self._residue_hist = None
+        self._residue_max = 0
+
+    def __contains__(self, row: int) -> bool:
+        return row in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def observe_block(self, rows, count: int) -> None:
+        """Apply the first ``count`` activations of ``rows`` in bulk.
+
+        Exactness: increments of already-tracked rows commute, so they
+        accumulate per slot and apply as one bucket move; any structural
+        event (install / spill / eviction) flushes the accumulated
+        increments first and replays scalar, preserving the reference
+        operation order bit-for-bit.
+        """
+        slot_of = self._slot_of
+        pending: Dict[int, int] = {}
+        for i in range(count):
+            row = rows[i]
+            slot = slot_of.get(row)
+            if slot is not None:
+                pending[slot] = pending.get(slot, 0) + 1
+                continue
+            if pending:
+                self._apply_pending(pending)
+                pending = {}
+            # Structural event: replay through the scalar path.
+            if len(slot_of) < self.entries:
+                self._install(row, self.spill + 1)
+            elif self.spill < self._min_count:
+                self.spill += 1
+            else:
+                victim = min(self._buckets[self._min_count])
+                self._evict(victim)
+                self._install(row, self.spill + 1, reuse_slot=victim)
+        if pending:
+            self._apply_pending(pending)
+
+    def noop_horizon(self, threshold: int) -> int:
+        """Activations guaranteed not to land any estimate on a
+        non-zero multiple of ``threshold``.
+
+        Increment path: a tracked counter at ``c`` needs ``T - c % T``
+        more hits to reach a multiple. Install path: an installed
+        estimate is ``spill + 1`` and the spill counter grows at most
+        one per activation, so after ``j`` activations every install
+        estimate is at most ``spill0 + j`` — safe while that stays
+        below the next multiple of T above ``spill0``.
+        """
+        t = threshold
+        if t != self._residue_t:
+            self._build_residue_hist(t)
+        hist = self._residue_hist
+        max_residue = self._residue_max
+        while max_residue > 0 and not hist[max_residue]:
+            max_residue -= 1
+        self._residue_max = max_residue
+        inc_safe = t - max_residue - 1
+        install_safe = t - (self.spill % t) - 1
+        horizon = inc_safe if inc_safe < install_safe else install_safe
+        return horizon if horizon > 0 else 0
+
+    def _build_residue_hist(self, threshold: int) -> None:
+        """(Re)build the residue histogram for a new threshold — once
+        per threshold per window; all later maintenance is O(1)."""
+        hist = [0] * threshold
+        max_residue = 0
+        for count in self._counts:
+            residue = count % threshold
+            hist[residue] += 1
+            if residue > max_residue:
+                max_residue = residue
+        self._residue_t = threshold
+        self._residue_hist = hist
+        self._residue_max = max_residue
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_pending(self, pending: Dict[int, int]) -> None:
+        """Bulk counter additions: one bucket move per touched slot."""
+        counts = self._counts
+        buckets = self._buckets
+        min_count = self._min_count
+        min_emptied = False
+        t = self._residue_t
+        hist = self._residue_hist
+        for slot, add in pending.items():
+            old = counts[slot]
+            new = old + add
+            counts[slot] = new
+            bucket = buckets[old]
+            bucket.discard(slot)
+            if not bucket:
+                del buckets[old]
+                if old == min_count:
+                    min_emptied = True
+            target = buckets.get(new)
+            if target is None:
+                buckets[new] = {slot}
+            else:
+                target.add(slot)
+            if t:
+                hist[old % t] -= 1
+                residue = new % t
+                hist[residue] += 1
+                if residue > self._residue_max:
+                    self._residue_max = residue
+        if min_emptied:
+            self._min_count = min(buckets) if buckets else 0
+
+    def _bump(self, slot: int, old: int, new: int) -> None:
+        bucket = self._buckets[old]
+        bucket.discard(slot)
+        if not bucket:
+            del self._buckets[old]
+        self._counts[slot] = new
+        target = self._buckets.get(new)
+        if target is None:
+            self._buckets[new] = {slot}
+        else:
+            target.add(slot)
+        if old == self._min_count and old not in self._buckets:
+            self._min_count = min(self._buckets) if self._buckets else 0
+        t = self._residue_t
+        if t:
+            hist = self._residue_hist
+            hist[old % t] -= 1
+            residue = new % t
+            hist[residue] += 1
+            if residue > self._residue_max:
+                self._residue_max = residue
+
+    def _install(self, row: int, count: int, reuse_slot: int = -1) -> int:
+        if reuse_slot >= 0:
+            slot = reuse_slot
+            self._rows[slot] = row
+            self._counts[slot] = count
+        else:
+            slot = len(self._rows)
+            self._rows.append(row)
+            self._counts.append(count)
+        self._slot_of[row] = slot
+        target = self._buckets.get(count)
+        if target is None:
+            self._buckets[count] = {slot}
+        else:
+            target.add(slot)
+        if len(self._slot_of) == 1 or count < self._min_count:
+            self._min_count = count
+        t = self._residue_t
+        if t:
+            residue = count % t
+            self._residue_hist[residue] += 1
+            if residue > self._residue_max:
+                self._residue_max = residue
+        return count
+
+    def _evict(self, slot: int) -> None:
+        count = self._counts[slot]
+        del self._slot_of[self._rows[slot]]
+        bucket = self._buckets[count]
+        bucket.discard(slot)
+        if not bucket:
+            del self._buckets[count]
+            if count == self._min_count:
+                self._min_count = min(self._buckets) if self._buckets else 0
+        if self._residue_t:
+            self._residue_hist[count % self._residue_t] -= 1

@@ -26,6 +26,11 @@ class CountingBloomFilter:
         self.hashes = hashes
         self._keys = [keyed_hash(i, seed) for i in range(hashes)]
         self._table = np.zeros(counters, dtype=np.int64)
+        # Deduped index arrays per row, for observe_bulk. The hashes
+        # are pure functions of (row, seed), so entries stay valid
+        # across reset(); dedup matches the fancy-index += semantics of
+        # observe (a duplicated index is incremented once).
+        self._bulk_indices: dict = {}
 
     def _indices(self, row: int) -> list:
         return [keyed_hash(row, key) % self.counters for key in self._keys]
@@ -35,6 +40,19 @@ class CountingBloomFilter:
         indices = self._indices(row)
         self._table[indices] += 1
         return int(min(self._table[index] for index in indices))
+
+    def observe_bulk(self, row: int, count: int) -> None:
+        """Count ``count`` activations of one row — exactly equivalent
+        to ``count`` scalar :meth:`observe` calls (adds commute)."""
+        indices = self._bulk_indices.get(row)
+        if indices is None:
+            indices = np.unique(np.array(self._indices(row)))
+            self._bulk_indices[row] = indices
+        self._table[indices] += count
+
+    def max_counter(self) -> int:
+        """Largest single counter — an upper bound on any estimate."""
+        return int(self._table.max())
 
     def estimate(self, row: int) -> int:
         """Min-counter estimate (>= the true count, never below)."""

@@ -92,6 +92,28 @@ class CATMisraGriesTracker:
         return len(self.cat)
 
     # ------------------------------------------------------------------
+    # Batched-path interface (scalar replay: CAT installs depend on
+    # set occupancy, so there is no order-free bulk form)
+    # ------------------------------------------------------------------
+    def observe_block(self, rows, count: int) -> None:
+        """Apply the first ``count`` activations of ``rows``."""
+        for i in range(count):
+            self.observe(rows[i])
+
+    def noop_horizon(self, threshold: int) -> int:
+        """Activations guaranteed not to land any estimate on a
+        non-zero multiple of ``threshold`` (see ArrayMisraGries)."""
+        t = threshold
+        counts = [value for _, value in self.cat.items()]
+        if counts:
+            inc_safe = t - max(c % t for c in counts) - 1
+        else:
+            inc_safe = t - 1
+        install_safe = t - (self.spill % t) - 1
+        horizon = min(inc_safe, install_safe)
+        return horizon if horizon > 0 else 0
+
+    # ------------------------------------------------------------------
     # SetMin machinery
     # ------------------------------------------------------------------
     def _recompute_set_min_for(self, row: int) -> None:

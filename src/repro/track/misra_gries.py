@@ -102,6 +102,27 @@ class MisraGriesTracker:
         return len(self._counts)
 
     # ------------------------------------------------------------------
+    # Batched-path interface (kept for backend interchangeability; the
+    # array-state tracker implements the bulk fast path)
+    # ------------------------------------------------------------------
+    def observe_block(self, rows, count: int) -> None:
+        """Apply the first ``count`` activations of ``rows``."""
+        for i in range(count):
+            self.observe(rows[i])
+
+    def noop_horizon(self, threshold: int) -> int:
+        """Activations guaranteed not to land any estimate on a
+        non-zero multiple of ``threshold`` (see ArrayMisraGries)."""
+        t = threshold
+        if self._counts:
+            inc_safe = t - max(c % t for c in self._counts.values()) - 1
+        else:
+            inc_safe = t - 1
+        install_safe = t - (self.spill % t) - 1
+        horizon = min(inc_safe, install_safe)
+        return horizon if horizon > 0 else 0
+
+    # ------------------------------------------------------------------
     # Bucketed min-tracking internals
     # ------------------------------------------------------------------
     def _insert(self, row: int, count: int) -> None:

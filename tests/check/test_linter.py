@@ -242,3 +242,45 @@ class TestPrintRule:
         from repro.check.linter import TARGET_PACKAGES
 
         assert "core" in TARGET_PACKAGES
+
+
+class TestUnseededGeneratorRule:
+    def test_bare_default_rng_flagged(self):
+        source = "from numpy.random import default_rng\ngen = default_rng()\n"
+        assert "RRS010" in _rules(source)
+
+    def test_attribute_default_rng_unseeded_flagged(self):
+        source = "import numpy as np\ngen = np.random.default_rng()\n"
+        assert "RRS010" in _rules(source)
+
+    def test_explicit_none_seed_flagged(self):
+        source = "import numpy as np\ngen = np.random.default_rng(None)\n"
+        assert "RRS010" in _rules(source)
+        source = "import numpy as np\ngen = np.random.default_rng(seed=None)\n"
+        assert "RRS010" in _rules(source)
+
+    def test_seeded_default_rng_not_rrs010(self):
+        # Still RRS001 (raw numpy.random use), but not the unseeded rule.
+        source = "import numpy as np\ngen = np.random.default_rng(1234)\n"
+        assert "RRS010" not in _rules(source)
+        source = "import numpy as np\ngen = np.random.default_rng(seed=12)\n"
+        assert "RRS010" not in _rules(source)
+
+    def test_legacy_module_level_call_flagged(self):
+        source = "import numpy as np\nx = np.random.randint(0, 10)\n"
+        assert "RRS010" in _rules(source)
+
+    def test_generator_method_call_not_flagged(self):
+        source = (
+            "from repro.utils.rng import DeterministicRng\n"
+            "gen = DeterministicRng(3, 'para').generator\n"
+            "draws = gen.integers(0, 8, size=64)\n"
+        )
+        assert _rules(source) == set()
+
+    def test_suppression_with_justification(self):
+        source = (
+            "from numpy.random import default_rng\n"
+            "gen = default_rng()  # repro-check: RRS010 -- fixture shim\n"
+        )
+        assert "RRS010" not in _rules(source)

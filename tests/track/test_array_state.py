@@ -1,0 +1,170 @@
+"""ArrayMisraGries: equivalence with the reference tracker and the
+batched-path contracts (observe_block exactness, noop_horizon safety,
+residue-histogram consistency, defined eviction tie-break)."""
+
+import random
+
+import pytest
+
+from repro.track.array_state import ArrayMisraGries
+from repro.track.misra_gries import MisraGriesTracker
+
+
+def _stream(seed: int, length: int, universe: int, hot: int = 4):
+    """Skewed activation stream: a few hot rows over a cold universe."""
+    rng = random.Random(seed)
+    hot_rows = [rng.randrange(universe) for _ in range(hot)]
+    rows = []
+    for _ in range(length):
+        if rng.random() < 0.6:
+            rows.append(rng.choice(hot_rows))
+        else:
+            rows.append(rng.randrange(universe))
+    return rows
+
+
+def _snapshot(tracker):
+    return {
+        "spill": tracker.spill,
+        "estimates": {row: tracker.estimate(row) for row in tracker.tracked_rows()},
+    }
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_eviction_free_streams_are_bit_identical(self, seed):
+        """At Invariant-1 sizing the spill counter never catches the
+        minimum, so no eviction (hence no tie-break) fires and every
+        observation matches the set-based reference exactly."""
+        rows = _stream(seed, length=3000, universe=200)
+        array = ArrayMisraGries.sized_for(len(rows), threshold=12)
+        reference = MisraGriesTracker.sized_for(len(rows), threshold=12)
+        for row in rows:
+            assert array.observe(row) == reference.observe(row)
+        assert _snapshot(array) == _snapshot(reference)
+        assert len(array) == len(reference)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_invariant1_under_eviction_pressure(self, seed):
+        """With a deliberately undersized tracker, evictions fire and
+        tie-breaks may diverge from the reference — but Invariant 1
+        (no undercount beyond the spill value) must still hold."""
+        rng = random.Random(seed)
+        rows = [rng.randrange(40) for _ in range(2000)]
+        tracker = ArrayMisraGries(entries=8)
+        true_counts = {}
+        for row in rows:
+            tracker.observe(row)
+            true_counts[row] = true_counts.get(row, 0) + 1
+        assert len(tracker) <= 8
+        for row, count in true_counts.items():
+            estimate = tracker.estimate(row)
+            assert estimate <= count + tracker.spill
+            if row in tracker:
+                assert estimate + tracker.spill >= count
+
+    def test_reset_matches_fresh_tracker(self):
+        tracker = ArrayMisraGries(entries=4)
+        for row in (1, 2, 3, 4, 5, 6, 1, 1):
+            tracker.observe(row)
+        tracker.reset()
+        assert len(tracker) == 0
+        assert tracker.spill == 0
+        assert tracker.observe(9) == 1  # install path, like a fresh one
+
+
+class TestObserveBlock:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_block_apply_equals_sequential_observe(self, seed):
+        """observe_block must reproduce the scalar operation order
+        bit-for-bit, including installs, spills and evictions (both
+        implementations use the lowest-slot tie-break)."""
+        rows = _stream(seed, length=1500, universe=60)
+        entries = [3, 8, 50][seed % 3]
+        blocked = ArrayMisraGries(entries=entries)
+        sequential = ArrayMisraGries(entries=entries)
+        cursor = 0
+        rng = random.Random(seed + 100)
+        while cursor < len(rows):
+            size = rng.randrange(1, 40)
+            chunk = rows[cursor : cursor + size]
+            blocked.observe_block(chunk, len(chunk))
+            for row in chunk:
+                sequential.observe(row)
+            cursor += size
+        assert _snapshot(blocked) == _snapshot(sequential)
+        assert blocked._min_count == sequential._min_count
+
+    def test_partial_count_applies_prefix_only(self):
+        tracker = ArrayMisraGries(entries=4)
+        tracker.observe_block([7, 7, 7, 9], 2)
+        assert tracker.estimate(7) == 2
+        assert 9 not in tracker
+
+
+class TestNoopHorizon:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("threshold", [3, 7, 12])
+    def test_horizon_activations_cannot_hit_a_multiple(self, seed, threshold):
+        """The contract the controller's deferral credit rests on: for
+        ANY sequence of up to `horizon` further activations, no
+        estimate returned by observe() lands on a non-zero multiple of
+        the threshold."""
+        rng = random.Random(seed)
+        tracker = ArrayMisraGries(entries=6)
+        for _ in range(rng.randrange(0, 300)):
+            tracker.observe(rng.randrange(25))
+        horizon = tracker.noop_horizon(threshold)
+        # Adversarial future: hammer rows closest to their next multiple.
+        for _ in range(horizon):
+            victim = None
+            best_gap = threshold + 1
+            for row in tracker.tracked_rows():
+                gap = threshold - tracker.estimate(row) % threshold
+                if gap < best_gap:
+                    best_gap = gap
+                    victim = row
+            row = victim if victim is not None else rng.randrange(25)
+            estimate = tracker.observe(row)
+            assert estimate == 0 or estimate % threshold != 0
+
+    def test_horizon_is_zero_when_a_counter_is_one_short(self):
+        tracker = ArrayMisraGries(entries=4)
+        for _ in range(6):
+            tracker.observe(1)
+        assert tracker.noop_horizon(7) == 0
+
+    def test_residue_histogram_stays_consistent(self):
+        """The O(1)-maintained histogram must always equal a fresh
+        rebuild, across observes, blocks, evictions and resets."""
+        rng = random.Random(5)
+        tracker = ArrayMisraGries(entries=5)
+        for step in range(400):
+            if step % 3 == 0:
+                chunk = [rng.randrange(30) for _ in range(rng.randrange(1, 6))]
+                tracker.observe_block(chunk, len(chunk))
+            tracker.observe(rng.randrange(30))
+            if step % 7 == 0:
+                threshold = rng.choice([4, 9])
+                tracker.noop_horizon(threshold)
+                expected = [0] * threshold
+                for count in (
+                    tracker._counts[slot] for slot in tracker._slot_of.values()
+                ):
+                    expected[count % threshold] += 1
+                assert tracker._residue_hist == expected
+
+
+class TestTieBreak:
+    def test_eviction_takes_the_lowest_slot(self):
+        """The defined tie-break: among minimum-count entries, the
+        lowest slot index (the oldest surviving entry) is evicted."""
+        tracker = ArrayMisraGries(entries=2)
+        tracker.observe(1)  # slot 0, count 1
+        tracker.observe(2)  # slot 1, count 1
+        assert tracker.observe(3) == 0  # spill 0 < min 1 -> spilled
+        assert tracker.spill == 1
+        assert tracker.observe(4) == 2  # spill == min -> evict slot 0
+        assert 1 not in tracker
+        assert 2 in tracker
+        assert tracker.estimate(4) == 2  # spill + 1

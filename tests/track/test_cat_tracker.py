@@ -89,3 +89,72 @@ def test_oversized_entry_count_rejected():
         CATMisraGriesTracker(
             entries=1000, cat_config=CATConfig(sets=4, demand_ways=2, extra_ways=2)
         )
+
+
+# ----------------------------------------------------------------------
+# Batched-path interface: observe_block is defined as exact scalar
+# replay (CAT installs depend on set occupancy, so there is no
+# order-free bulk form) — the whole shadow state must match, not just
+# the estimates.
+# ----------------------------------------------------------------------
+def _shadow_state(tracker):
+    """Everything the batched path could desynchronize: spill, CAT
+    contents, and the per-set SetMin registers."""
+    return {
+        "spill": tracker.spill,
+        "len": len(tracker),
+        "items": sorted(tracker.cat.items()),
+        "set_min": tracker._set_min,
+    }
+
+
+class TestObserveBlockShadowSync:
+    def test_block_apply_equals_sequential_observe(self):
+        rng = DeterministicRng(3, "cat-block").generator
+        rows = [int(r) for r in rng.integers(0, 60, size=1200)]
+        blocked = _small_tracker()
+        sequential = _small_tracker()
+        cursor = 0
+        while cursor < len(rows):
+            size = 1 + int(rng.integers(0, 29))
+            chunk = rows[cursor : cursor + size]
+            blocked.observe_block(chunk, len(chunk))
+            for row in chunk:
+                sequential.observe(row)
+            cursor += size
+        assert _shadow_state(blocked) == _shadow_state(sequential)
+
+    def test_partial_count_applies_prefix_only(self):
+        tracker = _small_tracker()
+        tracker.observe_block([7, 7, 7, 9], 2)
+        assert tracker.estimate(7) == 2
+        assert 9 not in tracker
+
+    def test_set_min_registers_match_set_contents(self):
+        """After heavy traffic (spills + evictions through _global_min)
+        every SetMin register equals a fresh recompute of its set."""
+        rng = DeterministicRng(11, "cat-setmin").generator
+        tracker = _small_tracker()
+        for row in rng.integers(0, 80, size=2000):
+            tracker.observe(int(row))
+        assert tracker.spill > 0  # the minimum search actually ran
+        config = tracker.cat.config
+        for table in range(config.tables):
+            for set_index in range(config.sets):
+                stored = tracker.cat._sets[table][set_index]
+                expected = min(stored.values()) if stored else None
+                assert tracker._set_min[table][set_index] == expected
+
+    def test_noop_horizon_matches_reference_tracker(self):
+        """Same stream into the CAT tracker and the set-based reference
+        at eviction-free sizing: identical estimates, spill and noop
+        horizons (the credit source for the controller's batched path)."""
+        rng = DeterministicRng(7, "cat-horizon").generator
+        rows = [int(r) for r in rng.integers(0, 120, size=900)]
+        cat = CATMisraGriesTracker(entries=1700)
+        reference = MisraGriesTracker(entries=1700)
+        for row in rows:
+            assert cat.observe(row) == reference.observe(row)
+        assert cat.spill == reference.spill
+        for threshold in (3, 8, 17):
+            assert cat.noop_horizon(threshold) == reference.noop_horizon(threshold)
