@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-smoke bench-gate trace-smoke profile experiments clean-cache
+.PHONY: test lint check check-flow bench bench-smoke bench-gate trace-smoke profile experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
@@ -10,8 +10,11 @@ lint:  ## ruff + mypy (configs in pyproject.toml)
 	ruff check src tests
 	mypy
 
-check:  ## repro.check pillars: determinism linter, salt drift, sanitizer smoke
+check:  ## repro.check pillars: linter, salt drift, sanitizer smoke, flow engine
 	$(PYTHON) -m repro check
+
+check-flow:  ## flow engine only: entropy provenance, oracle drift, hot-path advice
+	$(PYTHON) -m repro check --flow
 
 bench:  ## regenerate every table & figure (slow; honours REPRO_JOBS)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -15,9 +15,41 @@ Three pillars, surfaced through ``python -m repro check``:
 * :mod:`repro.check.salt` — the cache-salt drift detector: the
   ``CACHE_SALT`` policy of :mod:`repro.exec.cache` enforced by hashing
   every simulation-relevant source file against a committed manifest.
+
+Plus the interprocedural flow engine (``--flow``), three passes over a
+shared :class:`~repro.check.callgraph.ProjectGraph`:
+
+* :mod:`repro.check.entropy` — RNG provenance dataflow (FLW001-003):
+  every ``numpy.random.Generator`` reaching simulation state must be
+  derived from the seeded root, never consumed in unordered iteration,
+  and handed across modules explicitly.
+* :mod:`repro.check.oracle` — scalar-oracle/batched-kernel pair
+  registry and drift detection (ORA001-003) against the committed
+  ``oracle_manifest.json``.
+* :mod:`repro.check.hotpath` — advisory allocation lint (HOT001-003)
+  over everything reachable from the batched activation path,
+  baselined in ``flow_baseline.json``.
 """
 
-from repro.check.findings import Finding, Reporter, RULES
+from repro.check.callgraph import ProjectGraph
+from repro.check.entropy import check_entropy
+from repro.check.findings import (
+    Finding,
+    Reporter,
+    RULES,
+    SEVERITIES,
+    apply_suppressions,
+    error_count,
+    rule_severity,
+    severity_counts,
+    sort_findings,
+)
+from repro.check.hotpath import check_hotpath, load_baseline, write_baseline
+from repro.check.oracle import (
+    check_oracles,
+    discover_pairs,
+    write_oracle_manifest,
+)
 from repro.check.linter import DeterminismLinter, lint_paths, lint_tree
 from repro.check.salt import (
     SaltDrift,
@@ -36,19 +68,33 @@ from repro.check.sanitizer import (
 
 __all__ = [
     "RULES",
+    "SEVERITIES",
     "BankCommandChecker",
     "DeterminismLinter",
     "Finding",
+    "ProjectGraph",
     "ProtocolSanitizer",
     "ProtocolViolation",
     "Reporter",
     "SaltDrift",
+    "apply_suppressions",
     "audit_rit",
+    "check_entropy",
+    "check_hotpath",
+    "check_oracles",
     "check_salt",
     "compute_manifest",
+    "discover_pairs",
+    "error_count",
     "lint_paths",
     "lint_tree",
+    "load_baseline",
+    "rule_severity",
     "sanitize_enabled",
+    "severity_counts",
     "simulation_relevant_files",
+    "sort_findings",
+    "write_baseline",
     "write_manifest",
+    "write_oracle_manifest",
 ]

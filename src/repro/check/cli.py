@@ -1,16 +1,23 @@
 """The ``python -m repro check`` entry point.
 
-Runs up to three pillars and folds everything into one exit code:
+Runs up to four pillars and folds everything into one exit code:
 
 * ``--rules``  — the determinism linter over the simulation packages
   (or over explicit ``--paths``);
 * ``--salt``   — the cache-salt drift detector (``--update-salt``
   re-blesses the tree after an I/O-only change or a salt bump);
 * ``--sanitize`` — a short smoke simulation with the DDR4 protocol
-  sanitizer installed, proving the command streams it emits are legal.
+  sanitizer installed, proving the command streams it emits are legal;
+* ``--flow``  — the interprocedural flow engine: entropy provenance
+  (FLW...), oracle-pair drift against the committed
+  ``oracle_manifest.json`` (ORA..., re-blessed by ``--update-oracles``),
+  and the advisory hot-path allocation lint (HOT..., baselined in
+  ``flow_baseline.json``, re-blessed by ``--update-baseline``).
 
-With no pillar flag, all three run. ``--format json`` emits a single
-machine-readable findings document.
+With no pillar flag, all four run. ``--format json`` emits a single
+machine-readable findings document. The exit code reflects only the
+error tier: warn and advice findings are printed but never fail the
+build.
 """
 
 from __future__ import annotations
@@ -18,8 +25,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional
 
-from repro.check.findings import Finding, Reporter
+from repro.check.callgraph import ProjectGraph
+from repro.check.entropy import check_entropy
+from repro.check.findings import Finding, Reporter, error_count
+from repro.check.hotpath import check_hotpath, write_baseline
 from repro.check.linter import lint_paths, lint_tree
+from repro.check.oracle import check_oracles, write_oracle_manifest
 from repro.check.salt import check_salt, find_repo_root, write_manifest
 from repro.check.sanitizer import ProtocolSanitizer, ProtocolViolation
 
@@ -110,12 +121,46 @@ def _run_sanitize_smoke(verbose: bool, records: int = 8000) -> List[Finding]:
     return []
 
 
+def _run_flow(
+    root: Optional[Path],
+    update_oracles: bool,
+    update_baseline: bool,
+    verbose: bool,
+) -> List[Finding]:
+    if root is None:
+        return [
+            Finding(
+                rule="FLW001",
+                path="<repo>",
+                line=1,
+                message="cannot locate the repository root (no "
+                "pyproject.toml above cwd); pass --root",
+            )
+        ]
+    graph = ProjectGraph.build(root)
+    if update_oracles:
+        path = write_oracle_manifest(graph)
+        if verbose:
+            print(f"oracle manifest refreshed: {path}")
+    if update_baseline:
+        path = write_baseline(graph)
+        if verbose:
+            print(f"hot-path advisory baseline refreshed: {path}")
+    findings: List[Finding] = []
+    findings.extend(check_entropy(graph))
+    findings.extend(check_oracles(graph))
+    findings.extend(check_hotpath(graph))
+    return findings
+
+
 def run_check(args) -> int:
     """Execute the selected pillars; returns the process exit code."""
-    pillars_requested = args.rules or args.salt or args.sanitize
+    flow = getattr(args, "flow", False)
+    pillars_requested = args.rules or args.salt or args.sanitize or flow
     run_rules = args.rules or not pillars_requested
     run_salt = args.salt or not pillars_requested
     run_sanitize = args.sanitize or not pillars_requested
+    run_flow = flow or not pillars_requested
 
     verbose = args.format == "text"
     root = find_repo_root(Path(args.root) if args.root else None)
@@ -126,6 +171,15 @@ def run_check(args) -> int:
         findings.extend(_run_salt(root, args.update_salt, verbose))
     if run_sanitize:
         findings.extend(_run_sanitize_smoke(verbose))
+    if run_flow:
+        findings.extend(
+            _run_flow(
+                root,
+                getattr(args, "update_oracles", False),
+                getattr(args, "update_baseline", False),
+                verbose,
+            )
+        )
 
     print(Reporter(args.format).render(findings))
-    return 1 if findings else 0
+    return 1 if error_count(findings) else 0

@@ -1,0 +1,519 @@
+"""Interprocedural entropy-flow analysis (rules FLW001-FLW003).
+
+The security tables this reproduction publishes (Table 4 escape
+probabilities, the RIT bijectivity audits) assume every random draw in
+the process descends from the root experiment seed. The syntactic
+RRS010 rule catches ``default_rng()`` written in place; this pass
+catches what syntax cannot: a generator constructed unseeded in a
+helper and *flowed* into simulation state through assignments, call
+returns, attributes, and containers.
+
+Abstract domain per expression::
+
+    SEEDED    derived from default_rng(seed) / DeterministicRng /
+              .child() / .spawn() chains — provably rooted in the seed
+    UNSEEDED  derived from OS entropy (default_rng(), Generator(PCG64()))
+    ("set", s) / ("seq", s)   containers of generators in state ``s``
+    OPAQUE    not a generator, or provenance unknown (never flagged)
+
+The analysis runs a small fixpoint over the project call graph:
+function return states and parameter states (joined over every
+resolved call site) propagate until stable, then the final round
+reports:
+
+* FLW001 (error) — construction of an UNSEEDED generator anywhere in
+  ``src/repro``;
+* FLW002 (error) — a generator container consumed in unordered (set)
+  iteration, which re-maps streams to consumers per process;
+* FLW003 (warn) — a generator bound at module level, i.e. one stream
+  shared by every importer with no explicit handoff.
+
+Deliberately conservative: OPAQUE values are never flagged, so the
+pass has no false positives on non-RNG code, at the cost of missing
+provenance it cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.check.callgraph import FunctionInfo, ProjectGraph
+from repro.check.findings import Finding, apply_suppressions, sort_findings
+
+SEEDED = "seeded"
+UNSEEDED = "unseeded"
+OPAQUE = "opaque"
+
+State = Union[str, Tuple[str, str]]  # scalar, or ("set"|"seq", element)
+
+_MAX_ROUNDS = 8
+
+# numpy BitGenerator constructors (seed policed when wrapped by
+# Generator(...)).
+_BITGEN_NAMES = {"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+
+# Generator methods that *draw* (result is data, not a stream).
+_DRAW_METHODS = {
+    "integers", "random", "choice", "shuffle", "permutation", "normal",
+    "uniform", "geometric", "poisson", "binomial", "exponential",
+    "standard_normal", "bytes", "bit_generator", "randint",
+}
+
+
+def _element(state: State) -> State:
+    if isinstance(state, tuple):
+        return state[1]
+    return OPAQUE
+
+
+def _is_rng(state: State) -> bool:
+    return state in (SEEDED, UNSEEDED)
+
+
+def _rank(state: State) -> int:
+    if isinstance(state, tuple):
+        return 2 + _rank(state[1])
+    return {OPAQUE: 0, SEEDED: 1, UNSEEDED: 5}[state]
+
+
+def join(a: State, b: State) -> State:
+    """Least upper bound: prefer the more alarming provenance."""
+    if a == b:
+        return a
+    if isinstance(a, tuple) and isinstance(b, tuple) and a[0] == b[0]:
+        return (a[0], join(a[1], b[1]))
+    return a if _rank(a) >= _rank(b) else b
+
+
+def _seed_missing(node: ast.Call) -> bool:
+    """True when a ctor call passes no seed, or a literal ``None``."""
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+    return True
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class EntropyFlow:
+    """The fixpoint driver; one instance analyses one project graph."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        # Interprocedural summaries, refined across rounds.
+        self._returns: Dict[str, State] = {}
+        self._params: Dict[str, Dict[str, State]] = {}
+        self._class_attrs: Dict[str, State] = {}  # "module.Class.attr"
+        self._globals: Dict[str, State] = {}  # "module.name"
+        self._findings: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        for _ in range(_MAX_ROUNDS):
+            before = (
+                dict(self._returns),
+                {k: dict(v) for k, v in self._params.items()},
+                dict(self._class_attrs),
+                dict(self._globals),
+            )
+            self._findings = []
+            for module in self.graph.modules.values():
+                self._analyze_module_level(module.name)
+            for info in self.graph.functions.values():
+                self._analyze_function(info)
+            after = (
+                dict(self._returns),
+                {k: dict(v) for k, v in self._params.items()},
+                dict(self._class_attrs),
+                dict(self._globals),
+            )
+            if before == after:
+                break
+        return self._suppressed(self._findings)
+
+    def _suppressed(self, findings: List[Finding]) -> List[Finding]:
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        sources = {m.path: m.source for m in self.graph.modules.values()}
+        kept: List[Finding] = []
+        for path, group in by_path.items():
+            source = sources.get(path)
+            if source is None:
+                kept.extend(group)
+            else:
+                kept.extend(apply_suppressions(group, source, path))
+        return sort_findings(kept)
+
+    # ------------------------------------------------------------------
+    # Analysis passes
+    # ------------------------------------------------------------------
+    def _analyze_module_level(self, module_name: str) -> None:
+        module = self.graph.modules[module_name]
+        ctx = _FunctionContext(self, None, module_name, module.path)
+        for statement in module.tree.body:
+            if isinstance(statement, ast.Assign):
+                state = ctx.eval(statement.value)
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        key = f"{module_name}.{target.id}"
+                        self._globals[key] = join(
+                            self._globals.get(key, state), state
+                        )
+                        if _is_rng(state) or (
+                            isinstance(state, tuple) and _is_rng(state[1])
+                        ):
+                            self._findings.append(
+                                Finding(
+                                    rule="FLW003",
+                                    path=module.path,
+                                    line=statement.lineno,
+                                    message=(
+                                        f"generator bound to module-level "
+                                        f"{target.id!r} is one stream shared "
+                                        "by every importer; pass it through "
+                                        "a constructor or function "
+                                        "parameter instead"
+                                    ),
+                                    snippet=self._snippet(module.path, statement.lineno),
+                                )
+                            )
+            elif isinstance(statement, ast.Expr):
+                ctx.eval(statement.value)
+
+    def _analyze_function(self, info: FunctionInfo) -> None:
+        module = self.graph.modules[info.module]
+        ctx = _FunctionContext(self, info, info.module, module.path)
+        params = self._params.get(info.qualname, {})
+        node = info.node
+        arg_names = [a.arg for a in node.args.args]
+        if info.class_name and arg_names and arg_names[0] == "self":
+            arg_names = arg_names[1:]
+        for name in arg_names + [a.arg for a in node.args.kwonlyargs]:
+            ctx.env[name] = params.get(name, OPAQUE)
+        ctx.exec_body(node.body)
+
+    def _snippet(self, path: str, line: int) -> str:
+        for module in self.graph.modules.values():
+            if module.path == path:
+                lines = module.source.splitlines()
+                if 1 <= line <= len(lines):
+                    return lines[line - 1].strip()
+        return ""
+
+    # ------------------------------------------------------------------
+    # Summary plumbing (called from _FunctionContext)
+    # ------------------------------------------------------------------
+    def record_return(self, qualname: str, state: State) -> None:
+        self._returns[qualname] = join(self._returns.get(qualname, OPAQUE), state)
+
+    def record_argument(self, qualname: str, param: str, state: State) -> None:
+        table = self._params.setdefault(qualname, {})
+        table[param] = join(table.get(param, OPAQUE), state)
+
+
+class _FunctionContext:
+    """Evaluates one function body (or module top level)."""
+
+    def __init__(
+        self,
+        analysis: EntropyFlow,
+        info: Optional[FunctionInfo],
+        module_name: str,
+        path: str,
+    ) -> None:
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.info = info
+        self.module_name = module_name
+        self.path = path
+        self.env: Dict[str, State] = {}
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_body(self, body) -> None:
+        for statement in body:
+            self.exec_statement(statement)
+
+    def exec_statement(self, statement: ast.AST) -> None:
+        if isinstance(statement, ast.Assign):
+            state = self.eval(statement.value)
+            for target in statement.targets:
+                self._bind(target, state)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            self._bind(statement.target, self.eval(statement.value))
+        elif isinstance(statement, ast.AugAssign):
+            self.eval(statement.value)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None and self.info is not None:
+                self.analysis.record_return(
+                    self.info.qualname, self.eval(statement.value)
+                )
+        elif isinstance(statement, ast.Expr):
+            self.eval(statement.value)
+        elif isinstance(statement, ast.For):
+            self._check_unordered_iteration(statement.iter)
+            self._bind(statement.target, _element(self.eval(statement.iter)))
+            self.exec_body(statement.body)
+            self.exec_body(statement.orelse)
+        elif isinstance(statement, ast.While):
+            self.eval(statement.test)
+            self.exec_body(statement.body)
+            self.exec_body(statement.orelse)
+        elif isinstance(statement, ast.If):
+            self.eval(statement.test)
+            self.exec_body(statement.body)
+            self.exec_body(statement.orelse)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self.eval(item.context_expr)
+            self.exec_body(statement.body)
+        elif isinstance(statement, ast.Try):
+            self.exec_body(statement.body)
+            for handler in statement.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(statement.orelse)
+            self.exec_body(statement.finalbody)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pass  # nested defs are indexed and analysed on their own
+        elif isinstance(statement, ast.ClassDef):
+            pass
+
+    def _bind(self, target: ast.AST, state: State) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = state
+        elif isinstance(target, ast.Attribute):
+            owner = target.value
+            if (
+                isinstance(owner, ast.Name)
+                and owner.id == "self"
+                and self.info is not None
+                and self.info.class_name
+            ):
+                key = f"{self.module_name}.{self.info.class_name}.{target.attr}"
+                attrs = self.analysis._class_attrs
+                attrs[key] = join(attrs.get(key, state), state)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, _element(state) if not _is_rng(state) else state)
+
+    def _check_unordered_iteration(self, iter_node: ast.AST) -> None:
+        state = self.eval(iter_node)
+        unordered = isinstance(state, tuple) and state[0] == "set"
+        if isinstance(iter_node, ast.Call):
+            name = _callee_name(iter_node.func)
+            if name in ("set", "frozenset") and iter_node.args:
+                inner = self.eval(iter_node.args[0])
+                if isinstance(inner, tuple) and _is_rng(inner[1]):
+                    unordered, state = True, ("set", inner[1])
+        if unordered and _is_rng(state[1]):
+            self.analysis._findings.append(
+                Finding(
+                    rule="FLW002",
+                    path=self.path,
+                    line=iter_node.lineno,
+                    message=(
+                        "random generators iterated in set order; the "
+                        "per-process hash salt re-maps streams to "
+                        "consumers — iterate a sorted/stable sequence"
+                    ),
+                    snippet=self.analysis._snippet(self.path, iter_node.lineno),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.AST) -> State:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.analysis._globals.get(
+                f"{self.module_name}.{node.id}", OPAQUE
+            )
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            state = OPAQUE
+            for element in node.elts:
+                state = join(state, self.eval(element))
+            return ("seq", state) if _is_rng(state) else OPAQUE
+        if isinstance(node, ast.Set):
+            state = OPAQUE
+            for element in node.elts:
+                state = join(state, self.eval(element))
+            return ("set", state) if _is_rng(state) else OPAQUE
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, "seq")
+        if isinstance(node, ast.SetComp):
+            return self._eval_comprehension(node, "set")
+        if isinstance(node, ast.Subscript):
+            owner = self.eval(node.value)
+            if isinstance(owner, tuple):
+                if isinstance(node.slice, ast.Slice):
+                    return owner
+                return owner[1]
+            return OPAQUE
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.BoolOp):
+            state: State = OPAQUE
+            for value in node.values:
+                state = join(state, self.eval(value))
+            return state
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return OPAQUE
+        return OPAQUE
+
+    def _eval_comprehension(self, node, kind: str) -> State:
+        for generator in node.generators:
+            self._check_unordered_iteration(generator.iter)
+            self._bind(generator.target, _element(self.eval(generator.iter)))
+        state = self.eval(node.elt)
+        return (kind, state) if _is_rng(state) else OPAQUE
+
+    def _eval_attribute(self, node: ast.Attribute) -> State:
+        owner = node.value
+        if (
+            isinstance(owner, ast.Name)
+            and owner.id == "self"
+            and self.info is not None
+            and self.info.class_name
+        ):
+            key = f"{self.module_name}.{self.info.class_name}.{node.attr}"
+            return self.analysis._class_attrs.get(key, OPAQUE)
+        owner_state = self.eval(owner)
+        if node.attr == "generator" and _is_rng(owner_state):
+            # DeterministicRng.generator exposes the underlying stream.
+            return owner_state
+        return OPAQUE
+
+    def _eval_call(self, node: ast.Call) -> State:
+        name = _callee_name(node.func)
+        # 1. Generator constructors.
+        if name == "default_rng":
+            for arg in node.args:
+                self.eval(arg)
+            if _seed_missing(node):
+                self._flag_unseeded(node, "default_rng() without a seed")
+                return UNSEEDED
+            return SEEDED
+        if name == "DeterministicRng":
+            for arg in node.args:
+                self.eval(arg)
+            return SEEDED
+        if name == "Generator" and node.args:
+            bitgen = node.args[0]
+            if (
+                isinstance(bitgen, ast.Call)
+                and _callee_name(bitgen.func) in _BITGEN_NAMES
+            ):
+                if _seed_missing(bitgen):
+                    self._flag_unseeded(
+                        node,
+                        f"Generator({_callee_name(bitgen.func)}()) over an "
+                        "unseeded bit generator",
+                    )
+                    return UNSEEDED
+                return SEEDED
+            return OPAQUE
+        # 2. Methods on tracked values.
+        if isinstance(node.func, ast.Attribute):
+            owner_state = self.eval(node.func.value)
+            for arg in node.args:
+                self.eval(arg)
+            if _is_rng(owner_state):
+                if name in ("child",):
+                    return owner_state
+                if name == "spawn":
+                    return ("seq", owner_state)
+                if name in _DRAW_METHODS:
+                    return OPAQUE
+            if isinstance(owner_state, tuple) and name == "pop":
+                return owner_state[1]
+        # 3. Project calls: propagate arguments, use return summaries.
+        state: State = OPAQUE
+        if self.info is not None:
+            targets = self.graph.resolve_call(node.func, self.info)
+        else:
+            targets = set()
+        for qualname in targets:
+            callee = self.graph.functions.get(qualname)
+            if callee is None:
+                continue
+            self._propagate_arguments(node, callee)
+            state = join(state, self.analysis._returns.get(qualname, OPAQUE))
+        if not targets:
+            for arg in node.args:
+                self.eval(arg)
+            for keyword in node.keywords:
+                self.eval(keyword.value)
+        if name in ("sorted", "list", "tuple"):
+            inner = self.eval(node.args[0]) if node.args else OPAQUE
+            if isinstance(inner, tuple):
+                return ("seq", inner[1])
+        return state
+
+    def _propagate_arguments(self, node: ast.Call, callee: FunctionInfo) -> None:
+        params = [a.arg for a in callee.node.args.args]
+        if callee.class_name and params and params[0] == "self":
+            params = params[1:]
+        for position, arg in enumerate(node.args):
+            state = self.eval(arg)
+            if position < len(params) and state != OPAQUE:
+                self.analysis.record_argument(
+                    callee.qualname, params[position], state
+                )
+        keyword_params = set(params) | {
+            a.arg for a in callee.node.args.kwonlyargs
+        }
+        for keyword in node.keywords:
+            state = self.eval(keyword.value)
+            if keyword.arg in keyword_params and state != OPAQUE:
+                self.analysis.record_argument(
+                    callee.qualname, keyword.arg, state
+                )
+
+    def _flag_unseeded(self, node: ast.AST, what: str) -> None:
+        self.analysis._findings.append(
+            Finding(
+                rule="FLW001",
+                path=self.path,
+                line=node.lineno,
+                message=(
+                    f"{what} draws OS entropy, so this stream is not "
+                    "reachable from the seeded root; derive it from "
+                    "repro.utils.rng.DeterministicRng "
+                    "(default_rng(seed) / .child() / .spawn())"
+                ),
+                snippet=self.analysis._snippet(self.path, node.lineno),
+            )
+        )
+
+
+def check_entropy(graph: ProjectGraph) -> List[Finding]:
+    """Run the entropy-flow pass over a built project graph."""
+    return EntropyFlow(graph).run()

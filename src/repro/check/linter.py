@@ -27,7 +27,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.check.findings import Finding
+from repro.check.findings import Finding, apply_suppressions
 
 # Packages under src/repro whose files are linted by default.
 TARGET_PACKAGES: Tuple[str, ...] = (
@@ -54,6 +54,9 @@ HOT_PATH_CLASSES: Dict[str, str] = {
     "AccessOutcome": "dram/timing.py",
 }
 
+# numpy.random BitGenerator constructors (RRS010 seed policing).
+_BITGEN_NAMES = {"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+
 _MUTABLE_FACTORY_NAMES = {
     "list",
     "dict",
@@ -63,25 +66,6 @@ _MUTABLE_FACTORY_NAMES = {
     "defaultdict",
     "deque",
 }
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-check:\s*"
-    r"(?P<ids>RRS\d{3}(?:\s*,\s*RRS\d{3})*)"
-    r"\s*(?:--\s*(?P<why>\S.*\S|\S))?"
-)
-
-
-def _parse_suppressions(source: str) -> Dict[int, Tuple[Set[str], bool]]:
-    """Per-line suppressions: line -> (rule ids, has justification)."""
-    out: Dict[int, Tuple[Set[str], bool]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        ids = {part.strip() for part in match.group("ids").split(",")}
-        out[lineno] = (ids, match.group("why") is not None)
-    return out
-
 
 class _FileVisitor(ast.NodeVisitor):
     """Collects raw (unsuppressed) findings for one module."""
@@ -193,6 +177,34 @@ class _FileVisitor(ast.NodeVisitor):
         return isinstance(func, ast.Attribute) and func.attr == "default_rng"
 
     @staticmethod
+    def _is_generator_ctor(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "Generator"
+        return isinstance(func, ast.Attribute) and func.attr == "Generator"
+
+    @staticmethod
+    def _is_unseeded_bitgen(node: ast.AST) -> bool:
+        """True for ``PCG64()`` / ``MT19937(None)`` / friends."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name not in _BITGEN_NAMES:
+            return False
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                )
+        return True
+
+    @staticmethod
     def _seed_argument_missing(node: ast.Call) -> bool:
         """True when default_rng() gets no seed (or an explicit None)."""
         if node.args:
@@ -208,6 +220,18 @@ class _FileVisitor(ast.NodeVisitor):
 
     def _check_unseeded_generator(self, node: ast.Call) -> None:
         func = node.func
+        if self._is_generator_ctor(func) and node.args:
+            # Direct Generator(PCG64()) construction bypasses the
+            # default_rng() syntax entirely — same OS-entropy hazard.
+            if self._is_unseeded_bitgen(node.args[0]):
+                self._add(
+                    "RRS010",
+                    node,
+                    "Generator() over an unseeded bit generator draws OS "
+                    "entropy; derive a seeded stream from "
+                    "repro.utils.rng.DeterministicRng",
+                )
+            return
         if self._is_default_rng(func):
             # Seeded default_rng via np.random is RRS001's business
             # (raw numpy.random use); RRS010 only polices the seed.
@@ -221,12 +245,16 @@ class _FileVisitor(ast.NodeVisitor):
             return
         # Legacy module-level API: np.random.randint(...) and friends
         # share one hidden global BitGenerator across the process.
+        # Class constructors (Generator, PCG64, SeedSequence, ...) are
+        # not draws from that generator; their seeding is policed above.
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Attribute)
             and func.value.attr == "random"
             and isinstance(func.value.value, ast.Name)
             and func.value.value.id in self._numpy_aliases
+            and func.attr not in _BITGEN_NAMES
+            and func.attr not in ("Generator", "SeedSequence", "BitGenerator")
         ):
             self._add(
                 "RRS010",
@@ -400,40 +428,9 @@ class DeterminismLinter:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             raise ValueError(f"cannot lint {path}: {exc}") from exc
-        lines = source.splitlines()
-        visitor = _FileVisitor(path, lines)
+        visitor = _FileVisitor(path, source.splitlines())
         visitor.visit(tree)
-        suppressions = _parse_suppressions(source)
-
-        kept: List[Finding] = []
-        used_bare: Set[int] = set()
-        for finding in visitor.findings:
-            suppressed = False
-            for lineno in (finding.line, finding.line - 1):
-                entry = suppressions.get(lineno)
-                if entry is None or finding.rule not in entry[0]:
-                    continue
-                if entry[1]:
-                    suppressed = True
-                else:
-                    used_bare.add(lineno)
-                break
-            if not suppressed:
-                kept.append(finding)
-        for lineno in sorted(used_bare):
-            kept.append(
-                Finding(
-                    rule="RRS008",
-                    path=path,
-                    line=lineno,
-                    message=(
-                        "suppression without a justification; append "
-                        "`-- <why this is safe>`"
-                    ),
-                    snippet=lines[lineno - 1].strip() if lineno <= len(lines) else "",
-                )
-            )
-        return kept
+        return apply_suppressions(visitor.findings, source, path)
 
     def lint_file(self, path: Path, display_path: str = "") -> List[Finding]:
         """Findings for one file on disk."""

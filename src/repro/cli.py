@@ -9,8 +9,10 @@ Seven subcommands cover the library's main entry points:
   text timeline (see :mod:`repro.obs`)
 * ``profile``  — cProfile one run (optionally traced) and dump pstats
 * ``info``     — list available workloads, defenses, and attacks
-* ``check``    — determinism linter, cache-salt drift detector, and a
-  DDR4 protocol-sanitizer smoke run (see :mod:`repro.check`)
+* ``check``    — determinism linter, cache-salt drift detector, a DDR4
+  protocol-sanitizer smoke run, and the interprocedural flow engine
+  (entropy provenance, oracle-pair drift, hot-path advisories; see
+  :mod:`repro.check`)
 """
 
 from __future__ import annotations
@@ -442,13 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="determinism linter + salt drift + protocol sanitizer",
+        help="determinism linter + salt drift + protocol sanitizer + flow",
         description=(
             "Run the repro.check analysis pillars. With no pillar flag "
-            "all three run: the determinism linter (--rules), the "
-            "cache-salt drift detector (--salt), and a protocol-"
-            "sanitizer smoke simulation (--sanitize). Exit code is "
-            "non-zero when any pillar reports a finding."
+            "all four run: the determinism linter (--rules), the "
+            "cache-salt drift detector (--salt), a protocol-"
+            "sanitizer smoke simulation (--sanitize), and the "
+            "interprocedural flow engine (--flow: entropy provenance, "
+            "oracle-pair drift, hot-path advisories). Exit code is "
+            "non-zero only when an error-tier finding is reported; "
+            "warn and advice findings never fail the build."
         ),
     )
     check.add_argument(
@@ -461,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true", help="run only the sanitizer smoke"
     )
     check.add_argument(
+        "--flow", action="store_true",
+        help="run only the interprocedural flow engine (entropy/oracle/hot-path)",
+    )
+    check.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="findings report format",
     )
@@ -471,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--update-salt", action="store_true",
         help="re-bless the tree: rewrite the salt manifest before checking",
+    )
+    check.add_argument(
+        "--update-oracles", action="store_true",
+        help="re-bless oracle pairs: rewrite oracle_manifest.json before checking",
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-bless hot-path advisories: rewrite flow_baseline.json "
+        "before checking",
     )
     check.add_argument(
         "--root", default=None,

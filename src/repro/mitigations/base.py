@@ -123,6 +123,7 @@ class Mitigation:
         """Delay imposed before an ACT may issue (throttling defenses)."""
         return 0.0
 
+    # repro-oracle: mitigation-activation -- oracle
     def on_activation(
         self,
         bank_key: BankKey,

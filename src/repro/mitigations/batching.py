@@ -70,6 +70,7 @@ class BankBatchedMitigation(Mitigation):
         states[channel] = state
         return state
 
+    # repro-oracle: mitigation-activation -- kernel
     def on_activation_batch(
         self,
         bank_key: BankKey,

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 
+# repro-oracle: tracker-misra-gries -- kernel
 class ArrayMisraGries:
     """Misra-Gries tracker with slot storage and block-apply support."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Set
 
 
+# repro-oracle: tracker-misra-gries -- oracle
 class MisraGriesTracker:
     """One bank's hot-row tracker."""
 

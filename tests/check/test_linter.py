@@ -270,6 +270,46 @@ class TestUnseededGeneratorRule:
         source = "import numpy as np\nx = np.random.randint(0, 10)\n"
         assert "RRS010" in _rules(source)
 
+    def test_generator_over_unseeded_bitgen_flagged(self):
+        source = "import numpy as np\ng = np.random.Generator(np.random.PCG64())\n"
+        assert "RRS010" in _rules(source)
+        source = (
+            "from numpy.random import Generator, PCG64\n"
+            "g = Generator(PCG64())\n"
+        )
+        assert "RRS010" in _rules(source)
+
+    def test_generator_over_none_seeded_bitgen_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(None))\n"
+        )
+        assert "RRS010" in _rules(source)
+        source = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(seed=None))\n"
+        )
+        assert "RRS010" in _rules(source)
+
+    def test_generator_over_seeded_bitgen_not_rrs010(self):
+        # Still RRS001 (raw numpy.random use), but not the unseeded rule.
+        source = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(1234))\n"
+        )
+        assert "RRS010" not in _rules(source)
+
+    def test_bitgen_ctor_alone_not_misflagged_as_legacy_draw(self):
+        # PCG64(...) constructs a stream; it is not a draw from the
+        # hidden module-level generator.
+        source = "import numpy as np\nbg = np.random.PCG64(7)\n"
+        findings = DeterminismLinter().lint_source(
+            source, "src/repro/mem/example.py"
+        )
+        assert not any(
+            f.rule == "RRS010" and "hidden" in f.message for f in findings
+        )
+
     def test_generator_method_call_not_flagged(self):
         source = (
             "from repro.utils.rng import DeterministicRng\n"

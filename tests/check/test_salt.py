@@ -141,3 +141,52 @@ class TestCommittedManifest:
         payload = json.loads(text)
         assert list(payload) == sorted(payload)
         assert payload["files"] == dict(sorted(payload["files"].items()))
+
+
+class TestCliRebless:
+    """The `--update-salt` re-bless flow through `python -m repro check`."""
+
+    def _patched(self, monkeypatch, tmp_path):
+        import repro.check.salt as salt_module
+
+        manifest = tmp_path / "manifest.json"
+        monkeypatch.setattr(
+            salt_module, "default_manifest_path", lambda: manifest
+        )
+        return manifest
+
+    def test_update_salt_round_trip(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        root = _fake_tree(tmp_path)
+        manifest = self._patched(monkeypatch, tmp_path)
+        code = main(["check", "--salt", "--update-salt", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert manifest.is_file()
+        assert "salt manifest refreshed" in out
+        assert "ok: no findings" in out
+        # A second run without --update-salt stays clean.
+        assert main(["check", "--salt", "--root", str(root)]) == 0
+
+    def test_drift_detected_after_edit(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        root = _fake_tree(tmp_path)
+        self._patched(monkeypatch, tmp_path)
+        assert main(["check", "--salt", "--update-salt", "--root", str(root)]) == 0
+        capsys.readouterr()
+        (root / "src" / "repro" / "dram" / "timing.py").write_text("T_RC = 46\n")
+        code = main(["check", "--salt", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SALT001" in out and "timing.py" in out
+
+    def test_rebless_after_edit_restores_clean(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        root = _fake_tree(tmp_path)
+        self._patched(monkeypatch, tmp_path)
+        assert main(["check", "--salt", "--update-salt", "--root", str(root)]) == 0
+        (root / "src" / "repro" / "dram" / "timing.py").write_text("T_RC = 46\n")
+        assert main(["check", "--salt", "--update-salt", "--root", str(root)]) == 0
