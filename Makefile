@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check check-flow bench bench-smoke bench-gate trace-smoke profile experiments clean-cache
+.PHONY: test lint check check-flow bench bench-smoke bench-gate trace-smoke report-smoke profile experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,9 @@ bench-gate:  ## fail when serial throughput regresses vs the committed baseline
 
 trace-smoke:  ## tiny traced run; validates the Perfetto JSON it writes
 	$(PYTHON) -m repro trace hmmer rrs --records 2000 --out trace-smoke.json
+
+report-smoke:  ## tiny sweep -> ledger -> HTML dashboard; validates embedded JSON
+	$(PYTHON) scripts/report_smoke.py report-smoke.html
 
 profile:  ## cProfile the hot path (WORKLOAD=name DEFENSE=name PROFILE_FLAGS=--trace)
 	$(PYTHON) -m repro profile $(or $(WORKLOAD),hmmer) $(or $(DEFENSE),rrs) \

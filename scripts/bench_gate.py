@@ -25,6 +25,14 @@ a rate, but short runs amortize startup differently, so comparing
 mismatched run lengths would make the gate flaky. Run the bench with
 ``REPRO_BENCH_RECORDS`` matching the baseline (the CI workflow reads
 it from the committed file).
+
+``--ledger`` switches the gate to a third, statistical mode: instead
+of comparing bench files, it judges the newest sweep recorded in the
+run ledger against the ledger's own history via
+:mod:`repro.obs.regress` (median/MAD robust z-scores per workload,
+mitigation, and scale group). Error-tier findings (``REG001``) fail
+the gate; warn and advice findings are printed but never build-
+failing — mirroring the ``repro check`` severity contract.
 """
 
 from __future__ import annotations
@@ -139,6 +147,45 @@ def _gate_mitigations(args) -> bool:
     return ok
 
 
+def _gate_ledger(args) -> int:
+    """Statistical gate over the sweep run ledger; process exit code."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.ledger import default_ledger_path, read_ledger, split_latest_run
+    from repro.obs.regress import detect_drift
+
+    ledger_path = Path(args.ledger_path) if args.ledger_path else default_ledger_path()
+    entries = read_ledger(ledger_path)
+    if not entries:
+        print(f"bench-gate: ledger {ledger_path} is empty — nothing to gate")
+        return 0
+    history, fresh = split_latest_run(entries)
+    findings = detect_drift(
+        history,
+        fresh,
+        warn_z=args.warn_z,
+        error_z=args.error_z,
+        min_history=args.min_history,
+        path=str(ledger_path),
+    )
+    print(
+        f"bench-gate: ledger mode — {len(fresh)} fresh point(s) vs "
+        f"{len(history)} historical entries in {ledger_path}"
+    )
+    errors = 0
+    for finding in findings:
+        stream = sys.stderr if finding.severity == "error" else sys.stdout
+        print(f"bench-gate: {finding}", file=stream)
+        errors += finding.severity == "error"
+    if errors:
+        print(
+            f"bench-gate: FAIL — {errors} error-tier drift finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-gate: OK (no error-tier drift)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -167,7 +214,29 @@ def main(argv=None) -> int:
         default=str(MITIGATION_RESULTS),
         help=f"fresh mitigation results to gate (default: {MITIGATION_RESULTS})",
     )
+    parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="gate the newest sweep in the run ledger against its history "
+        "instead of comparing bench result files",
+    )
+    parser.add_argument(
+        "--ledger-path",
+        default=None,
+        help="ledger JSONL path (default: $REPRO_LEDGER or the cache dir)",
+    )
+    parser.add_argument("--warn-z", type=float, default=3.5)
+    parser.add_argument("--error-z", type=float, default=6.0)
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=4,
+        help="distinct historical runs required before judging a group",
+    )
     args = parser.parse_args(argv)
+
+    if args.ledger:
+        return _gate_ledger(args)
 
     if args.baseline is None:
         baseline = _committed_baseline()

@@ -172,6 +172,30 @@ RULES: Dict[str, RuleInfo] = {
         "hot loop; hoist it into a local before the loop",
         SEVERITY_ADVICE,
     ),
+    # Cross-run regression detector (repro.obs.regress) over the
+    # sweep-fleet run ledger.
+    "REG001": RuleInfo(
+        "cross-run-metric-drift",
+        "a sweep metric (throughput, IPC, or a mitigation counter) "
+        "drifted far outside its ledger history for the same "
+        "(workload, mitigation, scale) group — robust |z| beyond the "
+        "error horizon (median/MAD statistics, so single historical "
+        "outliers cannot mask or fake a drift)",
+    ),
+    "REG002": RuleInfo(
+        "cross-run-metric-wobble",
+        "a sweep metric sits outside the warn horizon of its ledger "
+        "history but inside the error horizon; suspicious, not "
+        "build-failing",
+        SEVERITY_WARN,
+    ),
+    "REG003": RuleInfo(
+        "insufficient-ledger-history",
+        "a (workload, mitigation, scale) group has fewer historical "
+        "ledger runs than the detector needs for a robust baseline; "
+        "drift cannot be judged yet",
+        SEVERITY_ADVICE,
+    ),
     # Non-linter pillars reuse the Finding shape under these ids.
     "SALT001": RuleInfo(
         "cache-salt-drift",

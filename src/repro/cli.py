@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the library's main entry points:
+Eight subcommands cover the library's main entry points:
 
 * ``run``      — timing simulation of a workload under a defense
 * ``attack``   — an attack pattern against a defense (flip or not?)
@@ -8,6 +8,9 @@ Seven subcommands cover the library's main entry points:
 * ``trace``    — a traced simulation exported as Perfetto JSON plus a
   text timeline (see :mod:`repro.obs`)
 * ``profile``  — cProfile one run (optionally traced) and dump pstats
+* ``report``   — self-contained HTML dashboard from the sweep run
+  ledger: per-worker timelines, cache hit-rates, throughput
+  trajectories, cross-run drift findings (see :mod:`repro.obs`)
 * ``info``     — list available workloads, defenses, and attacks
 * ``check``    — determinism linter, cache-salt drift detector, a DDR4
   protocol-sanitizer smoke run, and the interprocedural flow engine
@@ -257,7 +260,17 @@ def _cmd_trace(args) -> int:
     validate_trace_file(args.out)
     obs.close()
 
-    print(render_timeline(events))
+    # Display filters narrow the printed timeline only; the trace file
+    # written above always carries every captured event.
+    shown = events
+    if args.category:
+        wanted = {name.strip() for name in args.category.split(",") if name.strip()}
+        shown = [event for event in shown if event.category in wanted]
+    if args.limit and len(shown) > args.limit:
+        shown = shown[: args.limit]
+    if len(shown) != len(events):
+        print(f"timeline filtered to {len(shown)} of {len(events)} events")
+    print(render_timeline(shown))
     print()
     print(
         f"run: IPC {metrics.ipc:.3f}, {metrics.swaps} swaps, "
@@ -311,6 +324,52 @@ def _cmd_profile(args) -> int:
     if args.out:
         stats.dump_stats(args.out)
         print(f"pstats dump: {args.out} (browse with `python -m pstats {args.out}`)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Render the sweep-fleet dashboard from the run ledger."""
+    # Lazy imports: every other subcommand stays free of the ledger
+    # and dashboard machinery.
+    from repro.obs.ledger import default_ledger_path, read_ledger, split_latest_run
+    from repro.obs.regress import drift_report
+    from repro.obs.reportgen import (
+        load_bench_results,
+        render_report,
+        validate_report,
+        write_report,
+    )
+
+    ledger_path = args.ledger or default_ledger_path()
+    entries = read_ledger(ledger_path)
+    history, fresh = split_latest_run(entries)
+    drift = drift_report(
+        history,
+        fresh,
+        warn_z=args.warn_z,
+        error_z=args.error_z,
+        min_history=args.min_history,
+        path=str(ledger_path),
+    )
+    bench = load_bench_results(args.bench_dir)
+    html = render_report(entries, drift=drift, bench=bench, title=args.title)
+    validate_report(html)
+    write_report(args.out, html)
+
+    findings = drift["findings"]
+    errors = sum(1 for f in findings if f["severity"] == "error")
+    warns = sum(1 for f in findings if f["severity"] == "warn")
+    print(
+        f"report: {len(entries)} ledger entries ({ledger_path}), "
+        f"{len(fresh)} in the newest run"
+    )
+    print(
+        f"report: {len(findings)} drift finding(s) "
+        f"({errors} error, {warns} warn)"
+    )
+    print(f"wrote {args.out} (self-contained; open in any browser)")
+    if errors and args.strict:
+        return 1
     return 0
 
 
@@ -400,6 +459,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", default="",
         help="also stream raw events to this JSONL file",
     )
+    trace.add_argument(
+        "--category", default="",
+        help="show only these categories in the printed timeline "
+        "(comma list; the trace file keeps everything)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=0,
+        help="cap the printed timeline at the first N events "
+        "(0 = no cap; the trace file keeps everything)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     profile = sub.add_parser(
@@ -438,6 +507,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile with the repro.obs tracer enabled (ring sink)",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    report = sub.add_parser(
+        "report",
+        help="HTML dashboard from the sweep run ledger",
+        description=(
+            "Render a self-contained single-file HTML dashboard from "
+            "the sweep run ledger: per-worker timelines of the newest "
+            "run, cache hit-rate tiles, throughput trajectories from "
+            "the committed bench results, and cross-run drift findings "
+            "(newest run vs ledger history, robust z-scores). The data "
+            "payload is embedded as JSON inside the page — no external "
+            "assets, suitable for CI artifacts."
+        ),
+    )
+    report.add_argument(
+        "--ledger", default="",
+        help="ledger JSONL path (default: $REPRO_LEDGER or the cache dir)",
+    )
+    report.add_argument(
+        "--out", default="report.html", help="dashboard output path"
+    )
+    report.add_argument(
+        "--bench-dir", default="benchmarks/results",
+        help="directory holding BENCH_*.json trajectory files",
+    )
+    report.add_argument(
+        "--title", default="repro sweep-fleet dashboard",
+        help="dashboard page title",
+    )
+    report.add_argument("--warn-z", type=float, default=3.5)
+    report.add_argument("--error-z", type=float, default=6.0)
+    report.add_argument(
+        "--min-history", type=int, default=4,
+        help="distinct historical runs required before judging drift",
+    )
+    report.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when an error-tier drift finding is present",
+    )
+    report.set_defaults(func=_cmd_report)
 
     info = sub.add_parser("info", help="list workloads/defenses/attacks")
     info.set_defaults(func=_cmd_info)

@@ -11,18 +11,46 @@ trace generators and the RRS destination picker all draw from named
 streams derived from the point's seed (``repro.utils.rng``), so results
 are bit-identical whether a point executes in-process, in a worker, or
 comes back from the cache. A parallel sweep therefore reproduces a
-serial one exactly, and the determinism suite asserts it.
+serial one exactly, and the determinism suite asserts it. Retries lean
+on the same property: a crashed worker's point is re-executed once and
+yields the metrics the first attempt would have produced.
+
+Fleet telemetry: every point (simulated, cached, retried, failed) is
+recorded in the append-only :class:`~repro.obs.ledger.RunLedger`
+(``$REPRO_LEDGER``; ``0`` disables), with worker pid, wall time, peak
+RSS, and a compact metrics summary. While futures drain, a
+:class:`~repro.obs.health.StragglerDetector` flags points that outlive
+``straggler_k`` times the median completed duration, live on the
+progress line. All of it is observational — results with the ledger
+enabled are bit-identical to disabled.
+
+Crash containment: a worker that dies (or raises) fails only its
+point(s); each is retried exactly once in a fresh pool, the failure is
+recorded in the ledger, and the sweep completes. Only a point that
+fails twice aborts the sweep — a partial result set must never
+masquerade as a complete one.
 
 Worker count: the ``jobs`` argument, else ``$REPRO_JOBS``, else 1.
+
+Test hook: ``REPRO_TEST_FAULT_ONCE=<path>`` makes the next point whose
+executor sees the file consume it and fail — hard (``os._exit``) by
+default, or by raising when the file body is ``raise``. The crash/
+retry suites use it to kill exactly one worker attempt.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
 
 from repro.dram.config import DRAMConfig
 from repro.exec.cache import CACHE_SALT, ResultCache, canonical_key
@@ -33,6 +61,15 @@ from repro.mem.system import SystemConfig
 
 _ENV_JOBS = "REPRO_JOBS"
 _ENV_PROGRESS = "REPRO_PROGRESS"
+_ENV_FAULT = "REPRO_TEST_FAULT_ONCE"
+
+# How long one poll of the in-flight future set may block before the
+# straggler check runs again (seconds; telemetry cadence only).
+_POLL_SECONDS = 0.25
+
+# Sequence number folded into run ids so two runners created in the
+# same second in the same process stay distinguishable.
+_RUN_SEQ = 0
 
 
 def default_jobs() -> int:
@@ -42,6 +79,37 @@ def default_jobs() -> int:
     except ValueError:
         return 1
     return max(1, jobs)
+
+
+def _new_run_id() -> str:
+    """Telemetry-only run identifier: wall second + pid + sequence."""
+    global _RUN_SEQ
+    _RUN_SEQ += 1
+    return f"{int(time.time())}-{os.getpid()}-{_RUN_SEQ}"
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 where unavailable)."""
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _maybe_inject_fault() -> None:
+    """Consume the one-shot fault file and fail (test hook, see module)."""
+    path = os.environ.get(_ENV_FAULT, "")
+    if not path:
+        return
+    try:
+        with open(path) as handle:
+            mode = handle.read().strip()
+        os.unlink(path)
+    except OSError:
+        # Missing or already consumed by a sibling worker: no fault.
+        return
+    if mode == "raise":
+        raise RuntimeError("injected worker fault (repro test hook)")
+    os._exit(3)
 
 
 @dataclass(frozen=True)
@@ -120,21 +188,51 @@ def execute_point(point: SweepPoint) -> SimMetrics:
     )
 
 
-def _timed_execute_point(point: SweepPoint) -> Tuple[SimMetrics, float, int]:
-    """Worker wrapper: result plus worker-measured seconds and pid.
+def _timed_execute_point(
+    point: SweepPoint,
+) -> Tuple[SimMetrics, float, int, int]:
+    """Worker wrapper: result plus worker-measured seconds, pid, RSS.
 
-    The pid lets the parent's progress reporter aggregate per-worker
-    totals after a parallel sweep (the timing is telemetry only — it
-    never feeds the cache or the metrics).
+    The pid and peak-RSS reading let the parent's progress reporter and
+    the run ledger attribute work to workers after a parallel sweep
+    (all of it telemetry only — it never feeds the cache or the
+    metrics).
     """
+    _maybe_inject_fault()
     started = time.perf_counter()
     metrics = execute_point(point)
-    return metrics, time.perf_counter() - started, os.getpid()
+    return (
+        metrics,
+        time.perf_counter() - started,
+        os.getpid(),
+        _peak_rss_kb(),
+    )
 
 
 def _describe_point(point: SweepPoint) -> str:
     """Short human label for progress lines and error messages."""
     return f"{point.workload}/{point.mitigation.kind}@1/{point.scale}"
+
+
+@dataclass
+class PointOutcome:
+    """Execution telemetry for one point's trip through ``_execute``.
+
+    ``metrics=None`` means the point failed on every allowed attempt;
+    ``error`` then holds the first failure's description. ``attempts``
+    counts executions (2 = retried once).
+    """
+
+    metrics: Optional[SimMetrics]
+    seconds: float = 0.0
+    worker: int = 0
+    peak_rss_kb: int = 0
+    attempts: int = 1
+    error: str = ""
+    straggler: bool = False
+    # Host wall-clock completion time (telemetry; feeds the ledger's
+    # ``ts`` so dashboards can reconstruct per-worker timelines).
+    completed_ts: float = 0.0
 
 
 @dataclass
@@ -144,6 +242,9 @@ class SweepStats:
     points: int = 0
     cache_hits: int = 0
     simulated: int = 0
+    retried: int = 0
+    stragglers: int = 0
+    failed: int = 0
     wall_seconds: float = 0.0
     per_label_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -154,7 +255,9 @@ class SweepRunner:
     ``jobs=1`` runs in-process (no executor overhead); ``jobs>1`` uses a
     :class:`ProcessPoolExecutor`. ``cache=None`` with ``use_cache=True``
     opens the default on-disk cache; pass ``use_cache=False`` for pure
-    timing runs.
+    timing runs. ``ledger=None`` with ``use_ledger=True`` opens the
+    default run ledger (``$REPRO_LEDGER``; set it to ``0`` to disable);
+    pass ``use_ledger=False`` to opt this runner out entirely.
     """
 
     def __init__(
@@ -163,6 +266,9 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
         progress: Optional[bool] = None,
+        ledger=None,
+        use_ledger: bool = True,
+        straggler_k: float = 4.0,
     ) -> None:
         self.jobs = max(1, jobs) if jobs is not None else default_jobs()
         if cache is not None:
@@ -175,6 +281,20 @@ class SweepRunner:
         if progress is None:
             progress = os.environ.get(_ENV_PROGRESS, "0") == "1"
         self.progress = progress
+        # Fleet telemetry: run ledger + worker health. Imported lazily
+        # so `import repro.exec` never drags repro.obs in eagerly.
+        from repro.obs.health import WorkerHealth
+        from repro.obs.ledger import RunLedger
+
+        if ledger is not None:
+            self.ledger = ledger
+        elif use_ledger:
+            self.ledger = RunLedger()
+        else:
+            self.ledger = RunLedger(enabled=False)
+        self.health = WorkerHealth()
+        self.straggler_k = straggler_k
+        self.run_id = _new_run_id()
         self.stats = SweepStats()
 
     def run(
@@ -185,16 +305,18 @@ class SweepRunner:
         """Execute every point; results come back in input order.
 
         Cached points are served without simulating; the rest fan out
-        over ``jobs`` workers. Every fresh result is stored back.
-        Raises :class:`RuntimeError` naming the first failed point if
-        any point finishes without a result — a partial sweep must
-        never masquerade as a complete one.
+        over ``jobs`` workers. Every fresh result is stored back, and
+        every point — cached, simulated, retried, failed — is appended
+        to the run ledger. Raises :class:`RuntimeError` naming the
+        first failed point if any point finishes without a result — a
+        partial sweep must never masquerade as a complete one.
         """
         started = time.perf_counter()
         resolved = [point.resolved() for point in points]
         keys = [point.cache_key() for point in resolved]
         results: List[Optional[SimMetrics]] = [None] * len(resolved)
         reporter = self._reporter(len(resolved), label)
+        entries = []
 
         pending: List[Tuple[int, SweepPoint]] = []
         hits = 0
@@ -203,6 +325,19 @@ class SweepRunner:
             if cached is not None:
                 results[index] = cached
                 hits += 1
+                entries.append(
+                    self._ledger_entry(
+                        point,
+                        key,
+                        label,
+                        outcome=PointOutcome(
+                            metrics=cached,
+                            worker=os.getpid(),
+                            completed_ts=time.time(),
+                        ),
+                        cache_hit=True,
+                    )
+                )
             else:
                 pending.append((index, point))
         self.stats.cache_hits += hits
@@ -210,12 +345,33 @@ class SweepRunner:
             reporter.cache_hits(hits)
 
         if pending:
-            fresh = self._execute([point for _, point in pending], reporter)
-            for (index, _), metrics in zip(pending, fresh):
-                results[index] = metrics
-                if metrics is not None:
-                    self.cache.put(keys[index], metrics)
+            raw = self._execute([point for _, point in pending], reporter)
+            # Tolerate subclasses whose _execute still returns bare
+            # SimMetrics/None per point (the pre-ledger contract).
+            outcomes = [
+                item
+                if isinstance(item, PointOutcome)
+                else PointOutcome(metrics=item)
+                for item in raw
+            ]
+            for (index, point), outcome in zip(pending, outcomes):
+                results[index] = outcome.metrics
+                if outcome.metrics is not None:
+                    self.cache.put(keys[index], outcome.metrics)
+                entries.extend(
+                    self._ledger_entries_for_outcome(
+                        point, keys[index], label, outcome
+                    )
+                )
+                if outcome.attempts > 1 and outcome.metrics is not None:
+                    self.stats.retried += 1
+                if outcome.metrics is None:
+                    self.stats.failed += 1
+                if outcome.straggler:
+                    self.stats.stragglers += 1
             self.stats.simulated += len(pending)
+
+        self.ledger.append_all(entries)
 
         missing = [index for index, metrics in enumerate(results) if metrics is None]
         if missing:
@@ -251,31 +407,249 @@ class SweepRunner:
 
         return SweepProgress(total, jobs=self.jobs, label=label)
 
+    def _ledger_entry(
+        self,
+        point: SweepPoint,
+        key: str,
+        label: str,
+        outcome: PointOutcome,
+        cache_hit: bool = False,
+        status: Optional[str] = None,
+        error: str = "",
+    ):
+        """One ledger row for ``point`` with ``outcome`` telemetry."""
+        from repro.obs.ledger import (
+            STATUS_CACHED,
+            STATUS_FAILED,
+            STATUS_OK,
+            STATUS_RETRIED,
+            LedgerEntry,
+            summarize_metrics,
+        )
+
+        if status is None:
+            if cache_hit:
+                status = STATUS_CACHED
+            elif outcome.metrics is None:
+                status = STATUS_FAILED
+            elif outcome.attempts > 1:
+                status = STATUS_RETRIED
+            else:
+                status = STATUS_OK
+        summary = (
+            summarize_metrics(outcome.metrics)
+            if outcome.metrics is not None
+            else {}
+        )
+        return LedgerEntry(
+            run_id=self.run_id,
+            label=label,
+            point=_describe_point(point),
+            workload=point.workload,
+            mitigation=point.mitigation.kind,
+            scale=point.scale,
+            seed=point.seed,
+            cache_key=key,
+            status=status,
+            cache_hit=cache_hit,
+            ts=outcome.completed_ts or time.time(),
+            wall_seconds=outcome.seconds,
+            worker=outcome.worker,
+            peak_rss_kb=outcome.peak_rss_kb,
+            straggler=outcome.straggler,
+            error=error or (outcome.error if outcome.metrics is None else ""),
+            summary=summary,
+        )
+
+    def _ledger_entries_for_outcome(
+        self, point: SweepPoint, key: str, label: str, outcome: PointOutcome
+    ) -> list:
+        """Ledger rows for one executed point (failure row + final row).
+
+        A retried point leaves *two* rows: the first attempt's
+        ``failed`` row (with the error) and the final ``retried`` (or
+        second ``failed``) row, so fleet history never hides flaky
+        workers behind successful retries.
+        """
+        from repro.obs.ledger import STATUS_FAILED
+
+        entries = []
+        if outcome.attempts > 1:
+            entries.append(
+                self._ledger_entry(
+                    point,
+                    key,
+                    label,
+                    outcome=PointOutcome(
+                        metrics=None, attempts=1, error=outcome.error
+                    ),
+                    status=STATUS_FAILED,
+                    error=outcome.error,
+                )
+            )
+        entries.append(self._ledger_entry(point, key, label, outcome=outcome))
+        return entries
+
+    # ------------------------------------------------------------------
     def _execute(
         self, points: Sequence[SweepPoint], reporter=None
-    ) -> List[Optional[SimMetrics]]:
+    ) -> List[PointOutcome]:
         points = list(points)
         if self.jobs == 1 or len(points) <= 1:
-            results: List[Optional[SimMetrics]] = []
-            for point in points:
-                metrics, seconds, _ = _timed_execute_point(point)
+            return self._execute_serial(points, reporter)
+        return self._execute_parallel(points, reporter)
+
+    def _execute_serial(
+        self, points: Sequence[SweepPoint], reporter=None
+    ) -> List[PointOutcome]:
+        """In-process execution with one retry per raising point."""
+        outcomes: List[PointOutcome] = []
+        for point in points:
+            try:
+                metrics, seconds, worker, rss = _timed_execute_point(point)
+                outcome = PointOutcome(
+                    metrics, seconds, worker, rss, completed_ts=time.time()
+                )
+            except Exception as exc:  # crash containment: retry once
+                first_error = repr(exc)
                 if reporter is not None:
-                    reporter.point_done(_describe_point(point), seconds)
-                results.append(metrics)
-            return results
-        workers = min(self.jobs, len(points))
-        ordered: List[Optional[SimMetrics]] = [None] * len(points)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_timed_execute_point, point): index
-                for index, point in enumerate(points)
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                metrics, seconds, worker = future.result()
-                ordered[index] = metrics
-                if reporter is not None:
-                    reporter.point_done(
-                        _describe_point(points[index]), seconds, worker=worker
+                    reporter.point_retried(_describe_point(point), first_error)
+                try:
+                    metrics, seconds, worker, rss = _timed_execute_point(point)
+                    outcome = PointOutcome(
+                        metrics, seconds, worker, rss,
+                        attempts=2, error=first_error,
+                        completed_ts=time.time(),
                     )
-        return ordered
+                except Exception as retry_exc:
+                    outcome = PointOutcome(
+                        None,
+                        worker=os.getpid(),
+                        attempts=2,
+                        error=f"{first_error}; retry: {retry_exc!r}",
+                        completed_ts=time.time(),
+                    )
+            if reporter is not None and outcome.metrics is not None:
+                reporter.point_done(_describe_point(point), outcome.seconds)
+            if outcome.metrics is not None:
+                self.health.beat(
+                    outcome.worker, time.time(), outcome.seconds,
+                    outcome.peak_rss_kb,
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def _execute_parallel(
+        self, points: Sequence[SweepPoint], reporter=None
+    ) -> List[PointOutcome]:
+        """Pool execution: straggler watch, crash containment, retries.
+
+        A worker death poisons its pool (every pending future resolves
+        with ``BrokenProcessPool``), so each round runs in a fresh pool
+        and re-submits only the points that failed and still have their
+        one retry left.
+        """
+        from repro.obs.health import StragglerDetector
+
+        total = len(points)
+        outcomes: List[Optional[PointOutcome]] = [None] * total
+        attempts = [0] * total
+        first_error = [""] * total
+        detector = StragglerDetector(k=self.straggler_k)
+        flagged: set = set()
+        remaining = list(range(total))
+
+        while remaining:
+            workers = min(self.jobs, len(remaining))
+            round_failed: List[int] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_timed_execute_point, points[index]): index
+                    for index in remaining
+                }
+                for index in remaining:
+                    attempts[index] += 1
+                # Estimated dispatch times for the straggler watch: the
+                # pool starts the first `workers` submissions at once
+                # and feeds the queue in order as slots free up.
+                queue = deque(remaining[workers:])
+                started = {
+                    index: time.monotonic() for index in remaining[:workers]
+                }
+                pending_set = set(futures)
+                while pending_set:
+                    done, _ = wait(
+                        pending_set,
+                        timeout=_POLL_SECONDS,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    now = time.monotonic()
+                    for future in done:
+                        pending_set.discard(future)
+                        index = futures[future]
+                        started.pop(index, None)
+                        if queue:
+                            started[queue.popleft()] = now
+                        exc = future.exception()
+                        if exc is not None:
+                            round_failed.append(index)
+                            first_error[index] = (
+                                first_error[index] or repr(exc)
+                            )
+                            self.health.beat(0, time.time(), failed=True)
+                            continue
+                        metrics, seconds, worker, rss = future.result()
+                        detector.record(seconds)
+                        self.health.beat(worker, time.time(), seconds, rss)
+                        outcomes[index] = PointOutcome(
+                            metrics,
+                            seconds,
+                            worker,
+                            rss,
+                            attempts=attempts[index],
+                            error=first_error[index],
+                            completed_ts=time.time(),
+                        )
+                        if reporter is not None:
+                            reporter.point_done(
+                                _describe_point(points[index]),
+                                seconds,
+                                worker=worker,
+                            )
+                    # Live straggler watch over the still-running set.
+                    inflight = {
+                        index: now - since for index, since in started.items()
+                    }
+                    for index in detector.check(inflight):
+                        flagged.add(index)
+                        if reporter is not None:
+                            reporter.straggler(
+                                _describe_point(points[index]),
+                                inflight[index],
+                                detector.median or 0.0,
+                            )
+
+            retry = [index for index in round_failed if attempts[index] < 2]
+            for index in round_failed:
+                if attempts[index] >= 2 and index not in retry:
+                    outcomes[index] = PointOutcome(
+                        None, attempts=attempts[index],
+                        error=first_error[index],
+                    )
+            if reporter is not None:
+                for index in retry:
+                    reporter.point_retried(
+                        _describe_point(points[index]), first_error[index]
+                    )
+            remaining = retry
+
+        finished: List[PointOutcome] = []
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:  # pragma: no cover - defensive
+                outcome = PointOutcome(
+                    None, attempts=attempts[index], error=first_error[index]
+                )
+            if index in flagged:
+                outcome.straggler = True
+            finished.append(outcome)
+        return finished

@@ -13,12 +13,31 @@ Three pillars (DESIGN.md §7):
 * :mod:`repro.obs.perfetto` / :mod:`repro.obs.timeline` — exporters:
   Chrome/Perfetto trace-event JSON and a text timeline summary.
 
+Sweep-fleet observability (DESIGN.md §11) adds four more:
+
+* :mod:`repro.obs.ledger` — append-only schema-versioned JSONL run
+  ledger of every sweep point (``$REPRO_LEDGER`` or the cache dir);
+* :mod:`repro.obs.health` — worker heartbeat/straggler telemetry for
+  the parallel sweep path;
+* :mod:`repro.obs.regress` — cross-run drift detection (robust
+  z-scores against ledger history, ``REG001``–``REG003`` findings);
+* :mod:`repro.obs.reportgen` — the ``repro report`` single-file HTML
+  dashboard.
+
 The cardinal invariant: observation never perturbs simulation. Probes
 only read simulator state, and ``tests/obs`` asserts traced and
 untraced runs produce bit-identical :class:`SimMetrics`.
 """
 
+from repro.obs.health import StragglerDetector, WorkerHealth
 from repro.obs.install import Observability
+from repro.obs.ledger import (
+    LedgerEntry,
+    RunLedger,
+    default_ledger_path,
+    read_ledger,
+    split_latest_run,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,6 +52,13 @@ from repro.obs.perfetto import (
     write_trace,
 )
 from repro.obs.progress import SweepProgress
+from repro.obs.regress import detect_drift, drift_report, robust_z
+from repro.obs.reportgen import (
+    extract_embedded_json,
+    render_report,
+    validate_report,
+    write_report,
+)
 from repro.obs.timeline import render_timeline
 from repro.obs.tracer import (
     CATEGORIES,
@@ -51,19 +77,33 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LedgerEntry",
     "MetricsRegistry",
     "Observability",
     "RingSink",
+    "RunLedger",
     "Series",
+    "StragglerDetector",
     "SweepProgress",
     "TraceEvent",
     "Tracer",
+    "WorkerHealth",
+    "default_ledger_path",
+    "detect_drift",
+    "drift_report",
+    "extract_embedded_json",
     "parse_categories",
     "read_jsonl",
+    "read_ledger",
+    "render_report",
     "render_timeline",
+    "robust_z",
+    "split_latest_run",
     "to_trace_events",
     "tracer_from_env",
+    "validate_report",
     "validate_trace",
     "validate_trace_file",
+    "write_report",
     "write_trace",
 ]

@@ -1,0 +1,159 @@
+"""Worker health telemetry for parallel sweeps.
+
+:class:`~repro.exec.runner.SweepRunner` drives two small, pure-logic
+trackers while a sweep's futures drain:
+
+* :class:`WorkerHealth` — per-worker heartbeat timestamps and work
+  totals, aggregated in the parent from worker-measured completions.
+  A worker whose last heartbeat is older than the straggler horizon
+  shows up in the ledger and the dashboard as quiet, which is how a
+  hung worker is distinguished from a slow point.
+* :class:`StragglerDetector` — robust live straggler detection: once
+  enough points have completed, any in-flight point whose elapsed time
+  exceeds ``k`` times the median completed duration is flagged (once)
+  so the progress line can call it out while the sweep is still
+  running.
+
+Both are observational: they read completion telemetry, never touch
+simulation state, and their output feeds only the progress reporter
+and the run ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional
+
+from repro.utils.stats import percentile
+
+# A point is a straggler when it has been in flight longer than
+# STRAGGLER_K times the median completed-point duration.
+STRAGGLER_K = 4.0
+
+# Do not flag anything until this many points have completed: the
+# median of one or two samples is noise.
+STRAGGLER_MIN_SAMPLES = 3
+
+
+class StragglerDetector:
+    """Flags in-flight work that outlives ``k`` x median completion time.
+
+    Feed every completed duration through :meth:`record`; call
+    :meth:`check` with the elapsed seconds of still-running points.
+    Each key is flagged at most once, so a progress line can report a
+    straggler the moment it crosses the horizon without repeating
+    itself every poll tick.
+    """
+
+    def __init__(
+        self,
+        k: float = STRAGGLER_K,
+        min_samples: int = STRAGGLER_MIN_SAMPLES,
+    ) -> None:
+        if k <= 1.0:
+            raise ValueError("straggler multiplier k must exceed 1.0")
+        self.k = k
+        self.min_samples = max(1, min_samples)
+        self.durations: List[float] = []
+        self.flagged: set = set()
+
+    def record(self, seconds: float) -> None:
+        """One completed point's duration."""
+        self.durations.append(seconds)
+
+    @property
+    def median(self) -> Optional[float]:
+        """Median completed duration, or None before ``min_samples``."""
+        if len(self.durations) < self.min_samples:
+            return None
+        return percentile(self.durations, 50.0)
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """Seconds after which an in-flight point is a straggler."""
+        median = self.median
+        if median is None:
+            return None
+        return self.k * median
+
+    def check(self, inflight: Mapping[Hashable, float]) -> List[Hashable]:
+        """Newly flagged keys among ``{key: elapsed_seconds}``."""
+        horizon = self.horizon
+        if horizon is None:
+            return []
+        fresh = []
+        for key, elapsed in inflight.items():
+            if elapsed > horizon and key not in self.flagged:
+                self.flagged.add(key)
+                fresh.append(key)
+        return fresh
+
+
+@dataclass
+class WorkerRecord:
+    """Aggregated telemetry for one worker process."""
+
+    worker: int
+    points: int = 0
+    seconds: float = 0.0
+    peak_rss_kb: int = 0
+    last_heartbeat: float = 0.0
+    failures: int = 0
+
+
+@dataclass
+class WorkerHealth:
+    """Heartbeats and totals per worker, aggregated in the parent.
+
+    A heartbeat is a point completion (the only signal a worker emits
+    without a side channel); ``last_heartbeat`` is the host wall-clock
+    time of the newest one. ``snapshot`` renders plain data for the
+    ledger and the dashboard.
+    """
+
+    workers: Dict[int, WorkerRecord] = field(default_factory=dict)
+
+    def beat(
+        self,
+        worker: int,
+        ts: float,
+        seconds: float = 0.0,
+        peak_rss_kb: int = 0,
+        failed: bool = False,
+    ) -> None:
+        """Record one completion (or failure) heartbeat from a worker."""
+        record = self.workers.get(worker)
+        if record is None:
+            record = WorkerRecord(worker=worker)
+            self.workers[worker] = record
+        if failed:
+            record.failures += 1
+        else:
+            record.points += 1
+            record.seconds += seconds
+        if peak_rss_kb > record.peak_rss_kb:
+            record.peak_rss_kb = peak_rss_kb
+        if ts > record.last_heartbeat:
+            record.last_heartbeat = ts
+
+    def quiet_workers(self, now: float, horizon: float) -> List[int]:
+        """Workers whose last heartbeat is older than ``horizon`` seconds."""
+        return sorted(
+            record.worker
+            for record in self.workers.values()
+            if record.last_heartbeat and now - record.last_heartbeat > horizon
+        )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Plain-data per-worker rows, ordered by worker id."""
+        return [
+            {
+                "worker": record.worker,
+                "points": record.points,
+                "seconds": record.seconds,
+                "peak_rss_kb": record.peak_rss_kb,
+                "last_heartbeat": record.last_heartbeat,
+                "failures": record.failures,
+            }
+            for record in sorted(self.workers.values(), key=lambda r: r.worker)
+        ]

@@ -147,6 +147,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        The target rank is located in the cumulative bucket counts and
+        interpolated linearly across the bucket's value span, clamped
+        to the observed min/max so estimates never stray outside real
+        data. A rank landing in the overflow bucket reports the
+        observed max — the histogram has no upper edge there, and max
+        is the only honest bound. ``None`` before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count < rank:
+                cumulative += bucket_count
+                continue
+            if index >= len(self.bounds):
+                return self.max
+            lower = self.bounds[index - 1] if index else self.min
+            upper = self.bounds[index]
+            fraction = (rank - cumulative) / bucket_count
+            estimate = lower + (upper - lower) * max(fraction, 0.0)
+            return min(max(estimate, self.min), self.max)
+        return self.max
+
     def to_value(self) -> Dict[str, Any]:
         return {
             "bounds": list(self.bounds),
@@ -156,6 +187,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

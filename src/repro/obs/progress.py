@@ -42,6 +42,8 @@ class SweepProgress:
         self.done = 0
         self.cached = 0
         self.simulated = 0
+        self.retried = 0
+        self.stragglers = 0
         self._sim_seconds = 0.0
         # worker pid -> (points completed, worker-measured seconds)
         self.per_worker: Dict[int, list] = {}
@@ -94,11 +96,39 @@ class SweepProgress:
             f"last={description} {seconds:.1f}s{eta}"
         )
 
+    def point_retried(self, description: str, error: str = "") -> None:
+        """A point's first attempt failed; it is being retried.
+
+        Retries are counted separately from clean completions — the
+        finish line reports them distinctly so a sweep that only
+        succeeded on second attempts never reads as a clean one.
+        """
+        self.retried += 1
+        detail = f": {error}" if error else ""
+        self._emit(f"retrying {description} after worker failure{detail}")
+
+    def straggler(self, description: str, elapsed: float, median: float) -> None:
+        """Live callout: a point has outlived the straggler horizon."""
+        self.stragglers += 1
+        self._emit(
+            f"straggler: {description} running {elapsed:.1f}s "
+            f"(median {median:.1f}s)"
+        )
+
     def finish(self, wall_seconds: float) -> None:
-        """Final line(s): totals plus per-worker aggregation."""
+        """Final line(s): totals plus per-worker aggregation.
+
+        Retried and straggler counts appear only when non-zero, so a
+        clean sweep's summary stays byte-stable across versions.
+        """
+        extras = ""
+        if self.retried:
+            extras += f", {self.retried} retried"
+        if self.stragglers:
+            extras += f", {self.stragglers} straggler(s)"
         self._emit(
             f"done: {self.total} points in {wall_seconds:.1f}s "
-            f"({self.cached} cached, {self.simulated} simulated, "
+            f"({self.cached} cached, {self.simulated} simulated{extras}, "
             f"jobs={self.jobs})"
         )
         for worker in sorted(self.per_worker):

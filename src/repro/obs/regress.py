@@ -1,0 +1,215 @@
+"""Cross-run regression analytics over the sweep-fleet run ledger.
+
+Compares a fresh sweep's per-point metric summaries against the ledger
+history of the same ``(workload, mitigation, scale)`` group and emits
+structured drift findings through the :mod:`repro.check.findings`
+severity tiers:
+
+* ``REG001`` (error) — robust ``|z| >= error_z``: the metric moved far
+  outside its own history; the ``--ledger`` bench gate fails on it.
+* ``REG002`` (warn)  — ``warn_z <= |z| < error_z``: outside the noise
+  band but not damning; reported, never build-failing.
+* ``REG003`` (advice) — too little history to judge the group at all.
+
+Statistics: per metric the history is reduced to its median and MAD
+(median absolute deviation), and the fresh value scores
+``z = (x - median) / (1.4826 * MAD)`` — the MAD-consistent estimate of
+a standard score. Median/MAD are used instead of mean/stddev because
+ledger history is exactly the kind of data with occasional wild rows
+(a thermally throttled laptop run, a half-finished sweep): one outlier
+shifts a mean and explodes a stddev, but barely moves a median.
+
+Deterministic metrics (IPC, swaps, victim refreshes) have zero MAD
+when code didn't change, so any deviation at all is meaningful; the
+MAD floor below keeps the z-score finite while preserving that
+sensitivity. Host-dependent throughput (requests/second of wall time)
+is compared only across *simulated* entries — cache hits replay a
+result without doing the work, so their wall time says nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.findings import Finding, sort_findings
+from repro.obs.ledger import LedgerEntry
+from repro.utils.stats import percentile
+
+# Metrics compared per group: ledger-summary keys plus the derived
+# host-throughput metric. (name, summary key or None for derived).
+DRIFT_METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("requests_per_second", None),
+    ("ipc", "ipc"),
+    ("swaps", "swaps"),
+    ("victim_refreshes", "victim_refreshes"),
+    ("throttle_delay_ns", "throttle_delay_ns"),
+    ("bit_flips", "bit_flips"),
+)
+
+DEFAULT_WARN_Z = 3.5
+DEFAULT_ERROR_Z = 6.0
+DEFAULT_MIN_HISTORY = 4
+
+# MAD consistency constant for normally distributed data.
+_MAD_SCALE = 1.4826
+
+# Relative floor on the MAD-derived scale: deterministic metrics have
+# MAD == 0, and a literal zero denominator would make any epsilon an
+# infinite z. 0.1% of the median keeps tiny float jitter sub-horizon
+# while a real 20% move still scores z ~ 200.
+_REL_FLOOR = 1e-3
+_ABS_FLOOR = 1e-9
+
+GroupKey = Tuple[str, str, int]
+
+
+def robust_z(value: float, history: Sequence[float]) -> float:
+    """Robust standard score of ``value`` against ``history``."""
+    if not history:
+        raise ValueError("robust_z() needs non-empty history")
+    med = percentile(list(history), 50.0)
+    mad = percentile([abs(x - med) for x in history], 50.0)
+    scale = max(_MAD_SCALE * mad, abs(med) * _REL_FLOOR, _ABS_FLOOR)
+    return (value - med) / scale
+
+
+def _metric_value(entry: LedgerEntry, name: str, key: Optional[str]):
+    """One drift metric from a ledger entry, or None when inapplicable."""
+    if key is None:
+        return entry.requests_per_second
+    if not entry.summary:
+        return None
+    return entry.summary.get(key)
+
+
+def _group_values(
+    entries: Iterable[LedgerEntry],
+) -> Dict[GroupKey, Dict[str, List[float]]]:
+    """``group -> metric name -> values`` over successful entries."""
+    out: Dict[GroupKey, Dict[str, List[float]]] = {}
+    for entry in entries:
+        if not entry.summary:
+            continue  # failed rows carry no comparable numbers
+        metrics = out.setdefault(entry.group, {})
+        for name, key in DRIFT_METRICS:
+            value = _metric_value(entry, name, key)
+            if value is None:
+                continue
+            metrics.setdefault(name, []).append(float(value))
+    return out
+
+
+def _group_label(group: GroupKey) -> str:
+    workload, mitigation, scale = group
+    return f"{workload}/{mitigation}@1/{scale}"
+
+
+def _history_runs(entries: Iterable[LedgerEntry], group: GroupKey) -> int:
+    """Distinct historical runs contributing to a group's baseline."""
+    return len(
+        {e.run_id for e in entries if e.group == group and e.summary}
+    )
+
+
+def detect_drift(
+    history: Sequence[LedgerEntry],
+    fresh: Sequence[LedgerEntry],
+    warn_z: float = DEFAULT_WARN_Z,
+    error_z: float = DEFAULT_ERROR_Z,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    path: str = "ledger",
+) -> List[Finding]:
+    """Drift findings for ``fresh`` entries judged against ``history``.
+
+    Each fresh group is reduced to its per-metric median (a sweep may
+    run the same point under several seeds) and scored against the
+    matching history distribution. ``path`` labels the findings (the
+    ledger file, typically); line numbers are meaningless here and
+    stay 0.
+    """
+    if warn_z > error_z:
+        raise ValueError("warn_z must not exceed error_z")
+    history_values = _group_values(history)
+    fresh_values = _group_values(fresh)
+    findings: List[Finding] = []
+
+    for group in sorted(fresh_values):
+        label = _group_label(group)
+        runs = _history_runs(history, group)
+        if runs < min_history:
+            findings.append(
+                Finding(
+                    rule="REG003",
+                    path=path,
+                    line=0,
+                    message=(
+                        f"{label}: only {runs} historical run(s) in the "
+                        f"ledger (need {min_history}); drift not judged"
+                    ),
+                )
+            )
+            continue
+        baseline = history_values.get(group, {})
+        for name, _ in DRIFT_METRICS:
+            past = baseline.get(name)
+            now = fresh_values[group].get(name)
+            if not past or not now:
+                continue
+            value = percentile(now, 50.0)
+            z = robust_z(value, past)
+            if abs(z) < warn_z:
+                continue
+            med = percentile(list(past), 50.0)
+            direction = "above" if z > 0 else "below"
+            rule = "REG001" if abs(z) >= error_z else "REG002"
+            findings.append(
+                Finding(
+                    rule=rule,
+                    path=path,
+                    line=0,
+                    message=(
+                        f"{label}: {name} = {value:g} is {direction} its "
+                        f"history (median {med:g} over {runs} run(s), "
+                        f"robust z = {z:+.1f})"
+                    ),
+                )
+            )
+    return sort_findings(findings)
+
+
+def drift_report(
+    history: Sequence[LedgerEntry],
+    fresh: Sequence[LedgerEntry],
+    **kwargs,
+) -> Dict[str, object]:
+    """Findings plus per-group context, plain-data for the dashboard."""
+    findings = detect_drift(history, fresh, **kwargs)
+    groups = []
+    history_values = _group_values(history)
+    for group, metrics in sorted(_group_values(fresh).items()):
+        row: Dict[str, object] = {
+            "group": _group_label(group),
+            "history_runs": _history_runs(history, group),
+        }
+        comparisons = {}
+        for name, values in sorted(metrics.items()):
+            value = percentile(values, 50.0)
+            past = history_values.get(group, {}).get(name)
+            comparisons[name] = {
+                "value": value,
+                "history_median": percentile(list(past), 50.0) if past else None,
+                "z": robust_z(value, past) if past else None,
+            }
+        row["metrics"] = comparisons
+        groups.append(row)
+    return {
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "groups": groups,
+    }

@@ -7,6 +7,18 @@ import pytest
 from repro.dram.config import DRAMConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path_factory, monkeypatch):
+    """Point the run ledger at a per-test temp file.
+
+    SweepRunner appends fleet telemetry to $REPRO_LEDGER by default;
+    tests must never write into the developer's real ledger history.
+    """
+    monkeypatch.setenv(
+        "REPRO_LEDGER", str(tmp_path_factory.mktemp("ledger") / "ledger.jsonl")
+    )
+
+
 @pytest.fixture
 def small_dram() -> DRAMConfig:
     """A small but structurally faithful DRAM: 1 channel, 4 banks,

@@ -1,0 +1,68 @@
+"""Worker health telemetry: straggler detection and heartbeats."""
+
+import pytest
+
+from repro.obs.health import StragglerDetector, WorkerHealth
+
+
+# ----------------------------------------------------------------------
+# StragglerDetector
+# ----------------------------------------------------------------------
+def test_detector_silent_before_min_samples():
+    detector = StragglerDetector(k=4.0, min_samples=3)
+    detector.record(1.0)
+    detector.record(1.0)
+    assert detector.median is None
+    assert detector.horizon is None
+    assert detector.check({0: 100.0}) == []
+
+
+def test_detector_flags_past_k_times_median():
+    detector = StragglerDetector(k=4.0, min_samples=3)
+    for seconds in (1.0, 2.0, 3.0):
+        detector.record(seconds)
+    assert detector.median == pytest.approx(2.0)
+    assert detector.horizon == pytest.approx(8.0)
+    assert detector.check({"slow": 8.5, "fine": 7.5}) == ["slow"]
+
+
+def test_detector_flags_each_key_once():
+    detector = StragglerDetector(k=2.0, min_samples=1)
+    detector.record(1.0)
+    assert detector.check({7: 5.0}) == [7]
+    assert detector.check({7: 6.0}) == []  # already called out
+    assert detector.check({8: 6.0}) == [8]
+
+
+def test_detector_rejects_non_multiplier_k():
+    with pytest.raises(ValueError, match="exceed 1.0"):
+        StragglerDetector(k=1.0)
+
+
+# ----------------------------------------------------------------------
+# WorkerHealth
+# ----------------------------------------------------------------------
+def test_heartbeats_aggregate_per_worker():
+    health = WorkerHealth()
+    health.beat(101, ts=10.0, seconds=2.0, peak_rss_kb=500)
+    health.beat(101, ts=12.0, seconds=3.0, peak_rss_kb=400)
+    health.beat(202, ts=11.0, seconds=1.0, peak_rss_kb=600)
+    health.beat(0, ts=13.0, failed=True)
+
+    rows = health.snapshot()
+    assert [r["worker"] for r in rows] == [0, 101, 202]
+    w101 = rows[1]
+    assert w101["points"] == 2
+    assert w101["seconds"] == pytest.approx(5.0)
+    assert w101["peak_rss_kb"] == 500  # max, not last
+    assert w101["last_heartbeat"] == 12.0
+    assert rows[0]["failures"] == 1
+    assert rows[0]["points"] == 0
+
+
+def test_quiet_workers_past_horizon():
+    health = WorkerHealth()
+    health.beat(101, ts=10.0, seconds=1.0)
+    health.beat(202, ts=58.0, seconds=1.0)
+    assert health.quiet_workers(now=60.0, horizon=30.0) == [101]
+    assert health.quiet_workers(now=60.0, horizon=55.0) == []

@@ -1,0 +1,166 @@
+"""Run ledger: append/read/compact round-trips, env knobs, summaries."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    LedgerEntry,
+    RunLedger,
+    default_ledger_path,
+    latest_run_id,
+    ledger_enabled_by_env,
+    read_ledger,
+    split_latest_run,
+)
+
+
+def _entry(**overrides):
+    kwargs = dict(
+        run_id="r1",
+        label="fig6",
+        point="bzip2/rrs@1/32",
+        workload="bzip2",
+        mitigation="rrs",
+        scale=32,
+        seed=0,
+        cache_key="abc123",
+        status=STATUS_OK,
+        cache_hit=False,
+        ts=1000.0,
+        wall_seconds=2.5,
+        worker=4242,
+        peak_rss_kb=2048,
+        summary={"ipc": 0.51, "accesses": 800, "swaps": 3},
+    )
+    kwargs.update(overrides)
+    return LedgerEntry(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+def test_append_read_round_trip(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=True)
+    first = _entry()
+    second = _entry(cache_key="def456", status=STATUS_CACHED, cache_hit=True)
+    ledger.append(first)
+    ledger.append(second)
+    assert ledger.read() == [first, second]
+    assert len(ledger) == 2
+
+
+def test_append_all_batches_in_one_open(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=True)
+    entries = [_entry(seed=s, cache_key=f"k{s}") for s in range(5)]
+    ledger.append_all(entries)
+    assert ledger.appended == 5
+    assert ledger.read() == entries
+
+
+def test_entries_carry_schema_version(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=True)
+    ledger.append(_entry())
+    line = json.loads((tmp_path / "ledger.jsonl").read_text())
+    assert line["schema_version"] == LEDGER_SCHEMA_VERSION
+
+
+def test_from_dict_ignores_unknown_future_keys():
+    data = _entry().to_dict()
+    data["keyspace_from_the_future"] = {"x": 1}
+    assert LedgerEntry.from_dict(data) == _entry()
+
+
+def test_reader_skips_malformed_lines(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    good = _entry()
+    path.write_text(
+        "not json at all\n"
+        + json.dumps(good.to_dict())
+        + "\n[1, 2, 3]\n\n"
+    )
+    assert read_ledger(path) == [good]
+
+
+def test_read_missing_file_is_empty():
+    assert read_ledger("/nonexistent/nowhere/ledger.jsonl") == []
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compact_keeps_newest_per_logical_row(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=True)
+    stale = _entry(run_id="r1", status=STATUS_CACHED, cache_hit=True)
+    newest = _entry(run_id="r2", status=STATUS_CACHED, cache_hit=True, ts=2000.0)
+    other = _entry(cache_key="zzz", run_id="r2")
+    ledger.append_all([stale, newest, other])
+
+    kept, dropped = ledger.compact()
+    assert (kept, dropped) == (2, 1)
+    entries = ledger.read()
+    assert newest in entries and other in entries and stale not in entries
+
+
+def test_compact_can_drop_failures(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=True)
+    ledger.append_all(
+        [_entry(), _entry(cache_key="bad", status=STATUS_FAILED, summary={})]
+    )
+    kept, dropped = ledger.compact(keep_failures=False)
+    assert (kept, dropped) == (1, 1)
+    assert all(e.status != STATUS_FAILED for e in ledger.read())
+
+
+def test_compact_on_missing_file_is_noop(tmp_path):
+    ledger = RunLedger(path=tmp_path / "none.jsonl", enabled=True)
+    assert ledger.compact() == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Enablement and location
+# ----------------------------------------------------------------------
+def test_disabled_ledger_is_inert(tmp_path):
+    ledger = RunLedger(path=tmp_path / "ledger.jsonl", enabled=False)
+    ledger.append(_entry())
+    ledger.append_all([_entry()])
+    assert not (tmp_path / "ledger.jsonl").exists()
+    assert ledger.read() == []
+    assert ledger.compact() == (0, 0)
+
+
+def test_env_path_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "custom.jsonl"))
+    assert default_ledger_path() == tmp_path / "custom.jsonl"
+    assert ledger_enabled_by_env() is True
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    assert ledger_enabled_by_env() is False
+
+
+# ----------------------------------------------------------------------
+# Derived views
+# ----------------------------------------------------------------------
+def test_requests_per_second_only_for_simulated():
+    simulated = _entry(wall_seconds=2.0, summary={"accesses": 1000})
+    assert simulated.requests_per_second == pytest.approx(500.0)
+    cached = _entry(cache_hit=True, summary={"accesses": 1000})
+    assert cached.requests_per_second is None
+    failed = _entry(summary={})
+    assert failed.requests_per_second is None
+
+
+def test_split_latest_run_partitions_by_newest_run_id():
+    rows = [
+        _entry(run_id="r1"),
+        _entry(run_id="r2", cache_key="x"),
+        _entry(run_id="r2", cache_key="y"),
+    ]
+    assert latest_run_id(rows) == "r2"
+    history, fresh = split_latest_run(rows)
+    assert [e.run_id for e in history] == ["r1"]
+    assert [e.run_id for e in fresh] == ["r2", "r2"]
+    assert split_latest_run([]) == ([], [])

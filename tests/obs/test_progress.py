@@ -59,3 +59,25 @@ def test_format_eta_units():
     assert _format_eta(42.0) == "42s"
     assert _format_eta(150.0) == "2.5m"
     assert _format_eta(7200.0) == "2.0h"
+
+
+def test_retries_and_stragglers_counted_distinctly():
+    progress, stream = _reporter(2, jobs=2, label="fig6")
+    progress.point_done("a", 1.0)
+    progress.point_retried("b", "RuntimeError('boom')")
+    progress.point_done("b", 1.2)
+    progress.straggler("b", 9.0, 1.1)
+    progress.finish(3.0)
+    text = stream.getvalue()
+    assert "retrying b after worker failure: RuntimeError('boom')" in text
+    assert "straggler: b running 9.0s (median 1.1s)" in text
+    assert "2 simulated, 1 retried, 1 straggler(s)" in text
+
+
+def test_clean_finish_line_has_no_retry_noise():
+    progress, stream = _reporter(1)
+    progress.point_done("a", 1.0)
+    progress.finish(1.0)
+    text = stream.getvalue()
+    assert "retried" not in text
+    assert "straggler" not in text

@@ -1,0 +1,158 @@
+"""Cross-run drift detection: robust z-scores against ledger history."""
+
+import pytest
+
+from repro.obs.ledger import LedgerEntry
+from repro.obs.regress import detect_drift, drift_report, robust_z
+
+
+def _entry(run_id, workload="bzip2", ipc=0.5, accesses=1000, wall=2.0, **extra):
+    summary = {
+        "ipc": ipc,
+        "accesses": accesses,
+        "swaps": extra.pop("swaps", 4),
+        "victim_refreshes": extra.pop("victim_refreshes", 0),
+        "throttle_delay_ns": extra.pop("throttle_delay_ns", 0),
+        "bit_flips": extra.pop("bit_flips", 0),
+    }
+    return LedgerEntry(
+        run_id=run_id,
+        point=f"{workload}/rrs@1/32",
+        workload=workload,
+        mitigation="rrs",
+        scale=32,
+        seed=extra.pop("seed", 0),
+        cache_key=f"{workload}-{run_id}",
+        status=extra.pop("status", "ok"),
+        ts=1.0,
+        wall_seconds=wall,
+        worker=1,
+        summary=summary,
+        **extra,
+    )
+
+
+def _history(runs=5, **kwargs):
+    return [_entry(f"r{i}", **kwargs) for i in range(runs)]
+
+
+# ----------------------------------------------------------------------
+# robust_z
+# ----------------------------------------------------------------------
+def test_robust_z_centers_on_median():
+    history = [10.0, 10.0, 10.0, 12.0, 8.0]
+    assert robust_z(10.0, history) == pytest.approx(0.0)
+    assert robust_z(14.0, history) > 0
+    assert robust_z(6.0, history) < 0
+
+
+def test_robust_z_survives_zero_mad():
+    # Deterministic metric: identical history, relative floor keeps a
+    # 20% move finite but enormous.
+    z = robust_z(0.4, [0.5] * 6)
+    assert abs(z) > 100
+    assert z < 0
+
+
+def test_robust_z_ignores_single_outlier():
+    clean = [100.0] * 9
+    with_outlier = clean + [10_000.0]
+    assert abs(robust_z(101.0, with_outlier)) < abs(
+        (101.0 - 1090.0) / 1.0
+    )  # nowhere near what a mean-based score would say
+    assert robust_z(100.0, with_outlier) == pytest.approx(0.0)
+
+
+def test_robust_z_requires_history():
+    with pytest.raises(ValueError, match="non-empty history"):
+        robust_z(1.0, [])
+
+
+# ----------------------------------------------------------------------
+# detect_drift
+# ----------------------------------------------------------------------
+def test_stable_history_stays_quiet():
+    history = _history(runs=6)
+    fresh = [_entry("fresh")]
+    assert detect_drift(history, fresh) == []
+
+
+def test_twenty_percent_ipc_drop_is_an_error():
+    history = _history(runs=6)
+    fresh = [_entry("fresh", ipc=0.4)]  # 0.5 -> 0.4
+    findings = detect_drift(history, fresh)
+    assert findings, "a 20% deterministic-metric drop must be flagged"
+    (finding,) = [f for f in findings if "ipc" in f.message]
+    assert finding.rule == "REG001"
+    assert finding.severity == "error"
+    assert "bzip2/rrs@1/32" in finding.message
+    assert "below" in finding.message
+
+
+def test_drift_direction_reported_above():
+    history = _history(runs=6)
+    fresh = [_entry("fresh", swaps=40)]
+    (finding,) = [
+        f for f in detect_drift(history, fresh) if "swaps" in f.message
+    ]
+    assert "above" in finding.message
+
+
+def test_insufficient_history_is_advice_not_error():
+    history = _history(runs=2)
+    fresh = [_entry("fresh", ipc=0.1)]  # huge drift, but unjudgeable
+    findings = detect_drift(history, fresh)
+    assert [f.rule for f in findings] == ["REG003"]
+    assert findings[0].severity == "advice"
+
+
+def test_groups_judged_independently():
+    history = _history(runs=6) + _history(runs=6, workload="mcf", ipc=0.8)
+    fresh = [_entry("fresh"), _entry("fresh", workload="mcf", ipc=0.6)]
+    findings = detect_drift(history, fresh)
+    assert all("mcf" in f.message for f in findings)
+    assert any(f.rule == "REG001" for f in findings)
+
+
+def test_warn_band_between_thresholds():
+    # Noisy history: MAD > 0, so a moderate move lands in the warn band.
+    history = [
+        _entry(f"r{i}", wall=2.0 + 0.2 * (i % 3 - 1), seed=i) for i in range(8)
+    ]
+    fresh = [_entry("fresh", wall=3.0)]
+    findings = detect_drift(history, fresh, warn_z=0.5, error_z=50.0)
+    assert findings
+    assert {f.rule for f in findings} == {"REG002"}
+    assert all(f.severity == "warn" for f in findings)
+
+
+def test_warn_threshold_must_not_exceed_error():
+    with pytest.raises(ValueError, match="warn_z"):
+        detect_drift([], [], warn_z=10.0, error_z=5.0)
+
+
+def test_cached_entries_never_feed_throughput():
+    history = _history(runs=6)
+    # Fresh run entirely from cache: wall time ~0, but cache_hit=True
+    # keeps requests_per_second out of the comparison.
+    fresh = [_entry("fresh", cache_hit=True, status="cached", wall=0.001)]
+    findings = detect_drift(history, fresh)
+    assert not any("requests_per_second" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# drift_report
+# ----------------------------------------------------------------------
+def test_drift_report_is_plain_data():
+    history = _history(runs=6)
+    fresh = [_entry("fresh", ipc=0.4)]
+    report = drift_report(history, fresh)
+    assert report["findings"]
+    assert report["findings"][0]["rule"] == "REG001"
+    (group,) = report["groups"]
+    assert group["group"] == "bzip2/rrs@1/32"
+    assert group["history_runs"] == 6
+    ipc = group["metrics"]["ipc"]
+    assert ipc["value"] == pytest.approx(0.4)
+    assert ipc["history_median"] == pytest.approx(0.5)
+    assert ipc["z"] < 0

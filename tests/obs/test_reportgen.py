@@ -1,0 +1,187 @@
+"""Dashboard generator: payload embedding, validation, HTML structure."""
+
+import pytest
+
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, LedgerEntry
+from repro.obs.regress import drift_report
+from repro.obs.reportgen import (
+    build_payload,
+    extract_embedded_json,
+    load_bench_results,
+    render_report,
+    validate_report,
+    validate_report_file,
+    write_report,
+)
+
+
+def _entry(run_id="r1", worker=101, **overrides):
+    kwargs = dict(
+        run_id=run_id,
+        point="bzip2/rrs@1/32",
+        workload="bzip2",
+        mitigation="rrs",
+        scale=32,
+        seed=0,
+        cache_key=f"key-{run_id}-{worker}-{overrides.get('seed', 0)}",
+        status="ok",
+        cache_hit=False,
+        ts=1000.0,
+        wall_seconds=2.0,
+        worker=worker,
+        summary={"ipc": 0.5, "accesses": 1000, "swaps": 3},
+    )
+    kwargs.update(overrides)
+    return LedgerEntry(**kwargs)
+
+
+def _entries():
+    return [
+        _entry("r1"),
+        _entry("r2", worker=101, ts=2000.0),
+        _entry("r2", worker=202, ts=2001.5, cache_key="k2"),
+        _entry(
+            "r2", worker=202, ts=2002.0, cache_key="k3",
+            status="cached", cache_hit=True,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Payload round-trip
+# ----------------------------------------------------------------------
+def test_render_embeds_extractable_payload():
+    html = render_report(_entries())
+    payload = extract_embedded_json(html)
+    assert payload["schema_version"] == LEDGER_SCHEMA_VERSION
+    assert len(payload["entries"]) == 4
+    assert payload["latest_run_id"] == "r2"
+    assert payload["latest_run_points"] == 3
+    assert payload["history_points"] == 1
+
+
+def test_validate_report_accepts_rendered_output():
+    html = render_report(_entries())
+    payload = validate_report(html)
+    assert payload["entries"][0]["workload"] == "bzip2"
+
+
+def test_validate_report_file_round_trip(tmp_path):
+    html = render_report(_entries())
+    out = write_report(tmp_path / "nested" / "report.html", html)
+    assert validate_report_file(out)["latest_run_id"] == "r2"
+
+
+def test_validate_rejects_missing_payload():
+    with pytest.raises(ValueError, match="no embedded payload"):
+        validate_report("<html><body>empty</body></html>")
+
+
+def test_validate_rejects_wrong_schema_version():
+    payload = build_payload(_entries())
+    payload["schema_version"] = 99
+    import json
+
+    html = (
+        '<script type="application/json" id="repro-data">'
+        + json.dumps(payload)
+        + "</script>"
+    )
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_report(html)
+
+
+def test_validate_rejects_unknown_status():
+    bad = _entries()
+    bad[0].status = "exploded"
+    import json
+
+    html = (
+        '<script type="application/json" id="repro-data">'
+        + json.dumps(build_payload(bad))
+        + "</script>"
+    )
+    with pytest.raises(ValueError, match="unknown status"):
+        validate_report(html)
+
+
+def test_payload_script_tag_cannot_be_broken_out_of():
+    # "</script>" inside a string field must not terminate the block.
+    sneaky = _entry(error="</script><script>alert(1)</script>")
+    html = render_report([sneaky])
+    assert "</script><script>alert(1)" not in html
+    payload = extract_embedded_json(html)
+    assert payload["entries"][0]["error"] == "</script><script>alert(1)</script>"
+
+
+# ----------------------------------------------------------------------
+# Rendered structure
+# ----------------------------------------------------------------------
+def test_report_is_self_contained():
+    html = render_report(_entries())
+    for marker in ("http://", "https://", "<img", "<link", 'src="'):
+        assert marker not in html
+    assert "<style>" in html
+    assert "<svg" in html  # the timeline renders
+
+
+def test_report_shows_workers_and_cache_rate():
+    html = render_report(_entries())
+    assert "worker 101" in html
+    assert "worker 202" in html
+    assert "Cache hit-rate" in html
+    assert "25%" in html  # 1 of 4
+
+
+def test_report_renders_drift_findings_with_severity_labels():
+    history = [
+        _entry(f"h{i}", cache_key=f"h{i}") for i in range(6)
+    ]
+    fresh = [_entry("fresh", summary={"ipc": 0.4, "accesses": 1000, "swaps": 3})]
+    drift = drift_report(history, fresh)
+    html = render_report(history + fresh, drift=drift)
+    assert "REG001" in html
+    assert "error" in html
+    assert "bzip2/rrs@1/32" in html
+
+
+def test_quiet_report_says_so():
+    html = render_report(_entries(), drift={"findings": [], "groups": []})
+    assert "no drift findings" in html
+
+
+def test_bench_trajectories_render_when_present():
+    bench = {
+        "throughput": {
+            "history": [
+                {"git_sha": "aaa", "serial_requests_per_second": 1000.0},
+                {"git_sha": "bbb", "serial_requests_per_second": 1200.0},
+            ]
+        },
+        "mitigation": {
+            "history": [
+                {
+                    "git_sha": "aaa",
+                    "rrs_batched_activations_per_second": 9000.0,
+                    "graphene_batched_activations_per_second": 8000.0,
+                },
+                {
+                    "git_sha": "bbb",
+                    "rrs_batched_activations_per_second": 9100.0,
+                    "graphene_batched_activations_per_second": 8050.0,
+                },
+            ]
+        },
+    }
+    html = render_report(_entries(), bench=bench)
+    assert "Serial throughput trajectory" in html
+    assert "Mitigation activation rates" in html
+    assert "graphene" in html  # legend for the multi-series chart
+
+
+def test_load_bench_results_tolerates_missing_files(tmp_path):
+    assert load_bench_results(tmp_path) == {}
+    (tmp_path / "BENCH_throughput.json").write_text('{"history": []}')
+    (tmp_path / "BENCH_mitigation.json").write_text("not json")
+    loaded = load_bench_results(tmp_path)
+    assert loaded == {"throughput": {"history": []}}

@@ -264,3 +264,106 @@ def test_trace_category_filter(tmp_path, capsys):
         e.get("cat") for e in document["traceEvents"] if e.get("ph") != "M"
     }
     assert categories <= {"rrs.swap", "refresh"}
+
+
+def test_trace_timeline_display_filters(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "hmmer", "rrs", "--records", "1500", "--out", str(out),
+         "--category", "rrs.swap", "--limit", "5"]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "timeline filtered to 5 of" in text
+    # The display filter must not narrow the trace file itself.
+    document = json.loads(out.read_text())
+    categories = {
+        e.get("cat") for e in document["traceEvents"] if e.get("ph") != "M"
+    }
+    assert "dram.cmd" in categories
+
+
+def test_trace_limit_zero_means_unfiltered(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "hmmer", "rrs", "--records", "1000", "--out", str(out)]
+    ) == 0
+    assert "timeline filtered" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def test_report_smoke_on_four_point_sweep(tmp_path, capsys):
+    """End-to-end: sweep 4 points into the ledger, render the dashboard."""
+    from repro.exec import MitigationSpec, ResultCache, SweepPoint, SweepRunner
+    from repro.obs.reportgen import validate_report_file
+
+    points = [
+        SweepPoint(
+            workload=workload,
+            mitigation=MitigationSpec.none(),
+            scale=32,
+            records_per_core=500,
+            cores=2,
+            seed=seed,
+        )
+        for workload in ("stream", "hmmer")
+        for seed in (0, 1)
+    ]
+    runner = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path / "cache"))
+    runner.run(points, label="smoke")
+
+    out = tmp_path / "report.html"
+    code = main(
+        ["report", "--out", str(out), "--bench-dir", str(tmp_path / "nope")]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "4 ledger entries" in text
+    assert f"wrote {out}" in text
+
+    payload = validate_report_file(out)
+    assert len(payload["entries"]) == 4
+    assert payload["latest_run_points"] == 4
+    html = out.read_text()
+    assert "stream/none@1/32" in html
+
+
+def test_report_on_empty_ledger_is_fine(tmp_path, capsys):
+    out = tmp_path / "report.html"
+    assert main(
+        ["report", "--ledger", str(tmp_path / "empty.jsonl"),
+         "--out", str(out), "--bench-dir", str(tmp_path)]
+    ) == 0
+    assert "0 ledger entries" in capsys.readouterr().out
+    assert out.exists()
+
+
+def test_report_strict_fails_on_error_findings(tmp_path, capsys):
+    from repro.obs.ledger import LedgerEntry, RunLedger
+
+    ledger_path = tmp_path / "drift.jsonl"
+    ledger = RunLedger(path=ledger_path, enabled=True)
+    summary = {"ipc": 0.5, "accesses": 1000, "swaps": 4,
+               "victim_refreshes": 0, "throttle_delay_ns": 0, "bit_flips": 0}
+    for run in range(6):
+        ledger.append(LedgerEntry(
+            run_id=f"r{run}", point="bzip2/rrs@1/32", workload="bzip2",
+            mitigation="rrs", scale=32, cache_key=f"k{run}", status="ok",
+            ts=float(run), wall_seconds=2.0, worker=1, summary=dict(summary),
+        ))
+    ledger.append(LedgerEntry(
+        run_id="fresh", point="bzip2/rrs@1/32", workload="bzip2",
+        mitigation="rrs", scale=32, cache_key="fresh", status="ok",
+        ts=99.0, wall_seconds=2.0, worker=1,
+        summary={**summary, "ipc": 0.4},  # 20% regression
+    ))
+
+    out = tmp_path / "report.html"
+    code = main(
+        ["report", "--ledger", str(ledger_path), "--out", str(out),
+         "--bench-dir", str(tmp_path), "--strict"]
+    )
+    assert code == 1
+    assert "1 error" in capsys.readouterr().out
+    assert "REG001" in out.read_text()
