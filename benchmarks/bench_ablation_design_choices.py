@@ -26,7 +26,7 @@ from repro.dram.config import DRAMConfig
 from repro.dram.device import Channel
 from repro.mem.controller import MemoryController
 from repro.mem.request import MemoryRequest
-from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler
+from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler, drain_through
 from repro.mitigations.none import NoMitigation
 from repro.utils.rng import DeterministicRng
 
@@ -163,14 +163,7 @@ def test_ablation_scheduler_policies(benchmark, record_result):
         scheduler = policy_cls()
         for request in build_requests():
             scheduler.enqueue(request)
-        finish = 0.0
-        open_rows = {}
-        while True:
-            request = scheduler.pick(open_rows)
-            if request is None:
-                break
-            finish = max(finish, controller.service(request))
-            open_rows[request.decoded.bank_key] = request.physical_row
+        finish = drain_through(scheduler, controller)
         return finish, controller.stats.row_buffer_hit_rate
 
     def measure():

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.check.callgraph import FunctionInfo, ProjectGraph
-from repro.check.findings import Finding, sort_findings
+from repro.check.findings import Finding, apply_suppressions, sort_findings
 
 BASELINE_NAME = "flow_baseline.json"
 
@@ -210,7 +210,21 @@ def check_hotpath(
         for finding in raw
         if baseline_key(finding, owners[id(finding)]) not in known
     ]
-    return sort_findings(kept)
+    # Honor the shared `# repro-check: <RULE> -- why` suppression
+    # contract (repro.check.findings) — the linter and entropy passes
+    # already do; hot-path advisories are no different.
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in kept:
+        by_path.setdefault(finding.path, []).append(finding)
+    final: List[Finding] = []
+    for path, group in by_path.items():
+        try:
+            source = (graph.root / path).read_text()
+        except OSError:
+            final.extend(group)
+            continue
+        final.extend(apply_suppressions(group, source, path))
+    return sort_findings(final)
 
 
 def _collect(graph: ProjectGraph):

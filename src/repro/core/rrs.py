@@ -139,7 +139,9 @@ class RandomizedRowSwap(BankBatchedMitigation):
         now_ns: float,
     ) -> MitigationOutcome:
         """Track the logical row; swap it on each T_RRS multiple."""
-        state = self._bank(bank_key)
+        state = self._banks.get(bank_key)
+        if state is None:
+            state = self._bank(bank_key)
         estimate = state.tracker.observe(row)
         # Swap when the counter lands exactly on a multiple of T_RRS —
         # the hardware comparison Graphene uses. Installs jump counters
@@ -180,13 +182,16 @@ class RandomizedRowSwap(BankBatchedMitigation):
         return self._route_views.get(channel)
 
     def _apply_deferred(self, bank_key, rows, times, count):
-        self._bank(bank_key).tracker.observe_block(rows, count)
+        state = self._banks.get(bank_key)
+        if state is None:
+            state = self._bank(bank_key)
+        state.tracker.observe_block(rows, count)
 
     def _batch_credit(self, bank_key):
-        return (
-            self._bank(bank_key).tracker.noop_horizon(self.config.t_rrs),
-            NO_DEADLINE,
-        )
+        state = self._banks.get(bank_key)
+        if state is None:
+            state = self._bank(bank_key)
+        return state.tracker.noop_horizon(self.config.t_rrs), NO_DEADLINE
 
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """SRAM bits per bank (Table 5 geometry; see analysis.storage)."""

@@ -110,6 +110,15 @@ class Bank:
         """Hashable bank identity (channel, rank, index)."""
         return (self.channel, self.rank, self.index)
 
+    @property
+    def kernel_inlineable(self) -> bool:
+        """Whether the block kernel may run this bank on its flat SoA
+        timing arrays: nothing is watching the command stream and no
+        fault model needs per-ACT callbacks. Observed or faulted banks
+        are serviced through :meth:`access` inside the kernel so every
+        command still reaches its consumers."""
+        return self.timing.observer is None and self.disturbance is None
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

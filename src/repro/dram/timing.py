@@ -137,6 +137,26 @@ class BankTimingState:
         """Hold the bank busy (refresh, row-swap streaming)."""
         self.ready_ns = max(self.ready_ns, until_ns)
 
+    # ------------------------------------------------------------------
+    # Block-kernel state exchange (repro.mem.block_kernel)
+    # ------------------------------------------------------------------
+    def export_state(self) -> "tuple[int, float, float]":
+        """Snapshot ``(open_row, last_act_ns, ready_ns)`` — the full
+        open-page timing state. The fused block kernel evolves these on
+        flat arrays and hands them back via :meth:`adopt_state`."""
+        return self.open_row, self.last_act_ns, self.ready_ns
+
+    def adopt_state(
+        self, open_row: int, last_act_ns: float, ready_ns: float
+    ) -> None:
+        """Install a kernel-evolved snapshot (inverse of
+        :meth:`export_state`). Only valid for unobserved open-page
+        banks: the kernel never inlines a bank whose command stream
+        has an observer attached."""
+        self.open_row = open_row
+        self.last_act_ns = last_act_ns
+        self.ready_ns = ready_ns
+
     def _emit(self, kind: str, row: int, time_ns: float) -> None:
         if self.observer is not None:
             self.observer(kind, row, time_ns)

@@ -8,7 +8,7 @@ memory system.
 """
 
 from repro.mem.request import MemoryRequest
-from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler
+from repro.mem.scheduler import FCFSScheduler, FRFCFSScheduler, drain_through
 from repro.mem.controller import MemoryController
 from repro.mem.cpu import Core, CoreConfig
 from repro.mem.cache import CacheConfig, LastLevelCache
@@ -19,6 +19,7 @@ __all__ = [
     "MemoryRequest",
     "FCFSScheduler",
     "FRFCFSScheduler",
+    "drain_through",
     "MemoryController",
     "Core",
     "CoreConfig",

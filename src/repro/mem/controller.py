@@ -13,9 +13,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.dram.address import AddressMapper
+import numpy as np
+
+from repro.dram.address import AddressMapper, MutableDecoded
 from repro.dram.config import DRAMConfig
 from repro.dram.device import Channel
+from repro.mem.block_kernel import VECTOR_MIN_RUN, hit_run_times
 from repro.mem.request import MemoryRequest
 from repro.mitigations.base import Mitigation, MitigationOutcome
 
@@ -141,6 +144,7 @@ class MemoryController:
                 self._batch_global = mitigation.batch_scope == "global"
                 self._route_tables = mitigation.route_tables(channel.index)
 
+    # repro-oracle: controller-service -- oracle
     def service(self, request: MemoryRequest) -> float:
         """Service one request synchronously; returns completion time.
 
@@ -294,6 +298,179 @@ class MemoryController:
         if self.obs is not None:
             self.obs.on_request(request, decoded, latency, hit)
         return completion
+
+    # repro-oracle: controller-service -- kernel
+    def service_block(
+        self,
+        block,
+        arrival_ns=None,
+        interval_ns: float = None,
+        start_ns: float = 0.0,
+    ) -> np.ndarray:
+        """Service one ``TRACE_BLOCK_DTYPE`` chunk; returns completions.
+
+        Bit-identical to calling :meth:`service` once per record in
+        order — stats, bank/bus state, and mitigation state all end up
+        exactly where the scalar loop would leave them. Arrivals come
+        from ``arrival_ns`` (one non-decreasing float per record) or
+        from a fixed ``interval_ns`` cadence starting at ``start_ns``.
+
+        The block is segmented into maximal same-bank same-row runs.
+        A run whose rows hit the open row of an unobserved, unfaulted,
+        open-page bank — and whose timing is *uncoupled* (see
+        :func:`~repro.mem.block_kernel.hit_run_times`) — is committed
+        as one vector operation; hits never activate, so no mitigation
+        hook, route mutation, or pre-activate delay can fire inside the
+        run. Everything else (misses, coupled runs, observed banks)
+        replays through :meth:`service` itself — the oracle — via one
+        pooled request, so the slow path cannot drift by construction.
+        The whole block must target this controller's channel; the
+        check is up-front rather than per-request.
+        """
+        n = len(block)
+        completions = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return completions
+        if arrival_ns is not None:
+            arrivals = np.ascontiguousarray(arrival_ns, dtype=np.float64)
+            if arrivals.shape != (n,):
+                raise ValueError(
+                    f"arrival_ns must have shape ({n},), got {arrivals.shape}"
+                )
+        else:
+            if interval_ns is None:
+                raise ValueError(
+                    "service_block needs arrival_ns or interval_ns"
+                )
+            arrivals = start_ns + np.arange(n, dtype=np.float64) * interval_ns
+        columns = self.mapper.decode_batch(block["address"])
+        chan = columns.channel
+        mismatched = np.flatnonzero(chan != self.channel.index)
+        if mismatched.size:
+            raise ValueError(
+                f"request for channel {int(chan[mismatched[0]])} sent to "
+                f"controller of channel {self.channel.index}"
+            )
+        writes = block["is_write"]
+        rows_arr = columns.row
+        lfb_arr = columns.rank * self._banks_per_rank + columns.bank
+
+        # Per-index end of the (bank, row) segment containing it.
+        if n > 1:
+            change = lfb_arr[1:] != lfb_arr[:-1]
+            change |= rows_arr[1:] != rows_arr[:-1]
+            bounds = np.flatnonzero(change) + 1
+            starts = np.concatenate((np.zeros(1, dtype=np.int64), bounds))
+            ends = np.concatenate((bounds, np.asarray([n], dtype=np.int64)))
+            seg_end_at = np.repeat(ends, ends - starts).tolist()
+        else:
+            seg_end_at = [n]
+
+        addrs_l = block["address"].tolist()
+        writes_l = writes.tolist()
+        rows_l = rows_arr.tolist()
+        lfb_l = lfb_arr.tolist()
+        flats_l = columns.flat_bank.tolist()
+        ranks_l = columns.rank.tolist()
+        banks_l = columns.bank.tolist()
+        cols_l = columns.column.tolist()
+        arr_l = arrivals.tolist()
+        key_table = self.mapper.bank_key_table
+
+        stats = self.stats
+        channel = self.channel
+        chan_index = channel.index
+        bank_table = self._bank_table
+        route_tables = self._route_tables
+        has_route = self._has_route
+        mitigation = self.mitigation
+        lookup_ns = self._lookup_ns
+        t_cas = self._t_cas
+        line_transfer = self._line_transfer_ns
+        vectorizable = (
+            self._inline_timing
+            and self.obs is None
+            and not self.write_queue_capacity
+        )
+
+        # Buffered writes outlive the service() call (they sit in the
+        # write queue until a drain), so pooling is only safe without a
+        # write queue; the queued path allocates per record instead.
+        pool = self.write_queue_capacity == 0
+        decoded = MutableDecoded()
+        pooled = MemoryRequest(
+            address=0,
+            is_write=False,
+            core_id=-1,
+            arrival_ns=0.0,
+            decoded=decoded,
+        )
+        service = self.service
+
+        i = 0
+        while i < n:
+            end = seg_end_at[i]
+            if vectorizable and end - i >= VECTOR_MIN_RUN:
+                lfb = lfb_l[i]
+                bank = bank_table[lfb]
+                timing = bank.timing
+                if timing.observer is None and bank.disturbance is None:
+                    row = rows_l[i]
+                    if route_tables is not None:
+                        table = route_tables[lfb]
+                        physical = row if table is None else table.get(row, row)
+                    elif has_route:
+                        physical = mitigation.route(key_table[flats_l[i]], row)
+                    else:
+                        physical = row
+                    if timing.open_row == physical:
+                        run = hit_run_times(
+                            arrivals[i:end],
+                            lookup_ns,
+                            timing.ready_ns,
+                            channel.bus_free_ns,
+                            t_cas,
+                            line_transfer,
+                        )
+                        if run is not None:
+                            data, comps = run
+                            completions[i:end] = comps
+                            timing.ready_ns = data[-1]
+                            channel.bus_free_ns = comps[-1]
+                            count = end - i
+                            write_count = int(np.count_nonzero(writes[i:end]))
+                            stats.writes += write_count
+                            stats.reads += count - write_count
+                            stats.row_buffer_hits += count
+                            # Sequential fold, preserving the scalar
+                            # accumulation order exactly.
+                            total = stats.total_latency_ns
+                            for latency in (comps - arrivals[i:end]).tolist():
+                                total += latency
+                            stats.total_latency_ns = total
+                            i = end
+                            continue
+            if pool:
+                request = pooled
+                request.address = addrs_l[i]
+                request.is_write = writes_l[i]
+                request.arrival_ns = arr_l[i]
+                decoded.channel = chan_index
+                decoded.rank = ranks_l[i]
+                decoded.bank = banks_l[i]
+                decoded.row = rows_l[i]
+                decoded.column = cols_l[i]
+                decoded.bank_key = key_table[flats_l[i]]
+            else:
+                request = MemoryRequest(
+                    address=addrs_l[i],
+                    is_write=writes_l[i],
+                    core_id=-1,
+                    arrival_ns=arr_l[i],
+                )
+            completions[i] = service(request)
+            i += 1
+        return completions
 
     def _note_activation(
         self,

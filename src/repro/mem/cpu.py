@@ -85,6 +85,7 @@ class Core:
         "_rows",
         "_cols",
         "_flats",
+        "_gap_block",
         "_request",
         "_decoded",
     )
@@ -123,6 +124,7 @@ class Core:
         self._gaps = self._addrs = self._writes = _EMPTY
         self._chans = self._ranks = self._banks = _EMPTY
         self._rows = self._cols = self._flats = _EMPTY
+        self._gap_block = None
         self._request: Optional[MemoryRequest] = None
         self._decoded: Optional[MutableDecoded] = None
         if self._chunked:
@@ -309,7 +311,11 @@ class Core:
             self._has_pending = False
             return False
         addresses = block["address"]
-        self._gaps = block["gap"].tolist()
+        # The raw gap column is kept for the block kernel's issue-time
+        # precompute (repro.mem.block_kernel); the scalar front end
+        # only ever reads the tolist() views below.
+        self._gap_block = block["gap"]
+        self._gaps = self._gap_block.tolist()
         self._addrs = addresses.tolist()
         self._writes = block["is_write"].tolist()
         columns = self._mapper.decode_batch(addresses)
@@ -320,6 +326,29 @@ class Core:
         self._cols = columns.column.tolist()
         self._flats = columns.flat_bank.tolist()
         self._len = len(self._gaps)
+        return True
+
+    def _load_block_lean(self) -> bool:
+        """Block load for the fused block kernel: converts only the
+        columns the kernel reads (write flags, rows, flat banks, plus
+        the raw gap array for its issue-time precompute). The scalar
+        front end's views (_gaps/_addrs/_chans/...) are left stale, so
+        ``issue``/``_fetch`` must not run until a full ``_load_block``
+        — the kernel drives the core to exhaustion itself.
+        """
+        block = self._source.next_block()
+        while block is not None and len(block) == 0:
+            block = self._source.next_block()
+        if block is None:
+            self._exhausted = True
+            self._has_pending = False
+            return False
+        self._gap_block = block["gap"]
+        self._writes = block["is_write"].tolist()
+        columns = self._mapper.decode_batch(block["address"])
+        self._rows = columns.row.tolist()
+        self._flats = columns.flat_bank.tolist()
+        self._len = len(self._writes)
         return True
 
     def _issue_time_for(self, gap: int) -> float:

@@ -28,6 +28,35 @@ def _trace_queue(tracer, name: str, request: MemoryRequest, depth: int) -> None:
     )
 
 
+def drain_through(
+    scheduler,
+    controller,
+    open_rows: Optional[Dict[tuple, int]] = None,
+) -> float:
+    """Service a scheduler's entire backlog through ``controller``.
+
+    Repeatedly picks in policy order, services each request, and keeps
+    the bank-key -> open-row view current so FR-FCFS sees the row
+    buffers it is creating. Returns the completion time of the last
+    request serviced (0.0 for an empty backlog). This is the canonical
+    backlog-replay loop; ablation drivers should use it rather than
+    hand-rolling the pick/service/open-row bookkeeping.
+    """
+    if open_rows is None:
+        open_rows = {}
+    finish = 0.0
+    while True:
+        request = scheduler.pick(open_rows)
+        if request is None:
+            return finish
+        done = controller.service(request)
+        if done > finish:
+            finish = done
+        decoded = request.decoded
+        if decoded is not None:
+            open_rows[decoded.bank_key] = request.physical_row
+
+
 class FCFSScheduler:
     """Strict arrival-order scheduling (the paper's baseline policy)."""
 

@@ -18,6 +18,7 @@ from repro.dram.address import AddressMapper
 from repro.dram.config import DRAMConfig
 from repro.dram.device import Channel
 from repro.dram.refresh import RefreshScheduler
+from repro.mem.block_kernel import run_block_loop
 from repro.mem.controller import MemoryController
 from repro.mem.cpu import Core, CoreConfig
 from repro.mem.metrics import SimMetrics
@@ -118,6 +119,44 @@ class SystemSimulator:
             )
             for core_id, trace in enumerate(traces)
         ]
+        if self._block_loop_eligible(cores):
+            run_block_loop(self, cores)
+        else:
+            self._run_scalar(cores)
+        for core in cores:
+            core.drain()
+        return self._collect(cores, workload)
+
+    def _block_loop_eligible(self, cores: List[Core]) -> bool:
+        """Whether this run can take the fused block kernel.
+
+        The kernel (repro.mem.block_kernel) is bit-identical to
+        ``_run_scalar`` but assumes the configuration the system
+        simulator itself always builds: columnar cores, inline write
+        servicing, and no postponed refreshes. Observability probes
+        need per-request objects, so traced runs stay scalar; the
+        sanitizer's chained observers are supported (observed banks are
+        serviced through ``Bank.access`` inside the kernel). The env
+        toggle lives outside SystemConfig so result-cache keys never
+        depend on which loop ran.
+        """
+        if os.environ.get("REPRO_BLOCK_CONTROLLER", "1") == "0":
+            return False
+        if self.obs is not None:
+            return False
+        refresh = self.refresh
+        if refresh.max_postponed != 0 or refresh.postponed != 0:
+            return False
+        if not all(core._chunked for core in cores):
+            return False
+        return all(
+            controller.write_queue_capacity == 0 and controller.obs is None
+            for controller in self.controllers
+        )
+
+    # repro-oracle: system-loop -- oracle
+    def _run_scalar(self, cores: List[Core]) -> None:
+        """Reference per-request loop (the block kernel's oracle)."""
         # A core sits in the heap iff it has a pending record
         # (next_issue_time is +inf exactly when it is done), so the loop
         # needs no explicit done checks.
@@ -159,10 +198,6 @@ class SystemSimulator:
             issue_at = core.next_issue_time()
             if issue_at < infinity:
                 heappush(heap, (issue_at, core_id))
-
-        for core in cores:
-            core.drain()
-        return self._collect(cores, workload)
 
     # ------------------------------------------------------------------
     # Metrics

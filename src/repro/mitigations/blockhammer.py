@@ -17,19 +17,15 @@ Two properties the paper's Figure 11 exposes are modelled faithfully:
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.mitigations.base import (
     BankKey,
+    Mitigation,
     MitigationOutcome,
-    NO_DEADLINE,
     NOOP_OUTCOME,
 )
-from repro.mitigations.batching import BankBatchedMitigation
 from repro.track.bloom import CountingBloomFilter
 
 
@@ -56,10 +52,21 @@ class BlockHammerConfig:
         return self.window_ns / budget
 
 
-class BlockHammer(BankBatchedMitigation):
-    """Counting-Bloom blacklisting + activation throttling."""
+class BlockHammer(Mitigation):
+    """Counting-Bloom blacklisting + activation throttling.
+
+    Deliberately *not* a :class:`BankBatchedMitigation`: its noop
+    credit is ``blacklist_threshold - (sum of filter maxima)``, which
+    collapses to zero as soon as any counter nears the threshold —
+    exactly the attack regime the bench measures — and recomputing the
+    bound costs a full ``max_counter()`` scan of both Bloom tables per
+    flush. Batching therefore degenerated to scalar replay plus that
+    overhead (0.95x in BENCH_mitigation.json); ``batch_scope = None``
+    routes every activation straight to the scalar path instead.
+    """
 
     name = "BlockHammer"
+    batch_scope = None
 
     def __init__(self, config: BlockHammerConfig = BlockHammerConfig()) -> None:
         self.config = config
@@ -101,14 +108,10 @@ class BlockHammer(BankBatchedMitigation):
 
     def on_window_end(self, window_index: int) -> None:
         """Rotate filter lifetimes: shadow <- active, active resets."""
-        # Buffered activations belong to the closing half-window: land
-        # them in the pre-rotation active filter first.
-        self._flush_batch_buffers()
         for bank_key, (active, shadow) in list(self._filters.items()):
             shadow.reset()
             self._filters[bank_key] = (shadow, active)
         self._last_act_ns.clear()
-        self._reset_batch_credits()
 
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """Two counting Bloom filters of t_rh-wide counters."""
@@ -139,27 +142,3 @@ class BlockHammer(BankBatchedMitigation):
     def _estimate(self, bank_key: BankKey, row: int) -> int:
         active, shadow = self._bank_filters(bank_key)
         return active.estimate(row) + shadow.estimate(row)
-
-    # ------------------------------------------------------------------
-    # Batched activation path (mixin hooks)
-    # ------------------------------------------------------------------
-    def _apply_deferred(self, bank_key, rows, times, count):
-        active, _ = self._bank_filters(bank_key)
-        for row, hits in Counter(rows[:count]).items():
-            active.observe_bulk(row, hits)
-        last = self._last_act_ns
-        for i in range(count):
-            last[(bank_key, rows[i])] = times[i]
-
-    def _batch_credit(self, bank_key):
-        # No counter can exceed the table maxima, and one activation
-        # raises each filter maximum by at most 1 — so while the bound
-        # stays below the blacklist threshold, both the deferred and
-        # the scalar world see every row un-blacklisted and
-        # pre_activate_delay_ns returns 0 in both. Near the threshold
-        # the credit collapses to 0 and every activation spills to the
-        # exact scalar path (throttling needs precise filter state).
-        active, shadow = self._bank_filters(bank_key)
-        bound = active.max_counter() + shadow.max_counter()
-        credit = self.config.blacklist_threshold - bound - 1
-        return (credit if credit > 0 else 0, NO_DEADLINE)

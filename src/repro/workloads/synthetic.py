@@ -394,19 +394,28 @@ class SyntheticTraceGenerator:
         if share == 0:
             return []
         rng = self._rng.child("hotrows")
-        addresses = []
         banks = self.config.banks_per_rank
         channels = self.config.channels
+        # The row/column draws stay scalar and interleaved — exactly
+        # the stream the reference loop consumed — but the bit-packing
+        # runs once, batched, instead of one Python encode per row.
+        randint = rng.randint
+        rows_per_bank = self.config.rows_per_bank
+        lines_per_row = self.config.lines_per_row
+        rows = np.empty(share, dtype=np.int64)
+        columns = np.empty(share, dtype=np.int64)
         for i in range(share):
-            decoded = DecodedAddress(
-                channel=(self.core_id + i) % channels,
-                rank=0,
-                bank=(self.core_id * 3 + i) % banks,
-                row=rng.randint(0, self.config.rows_per_bank),
-                column=rng.randint(0, self.config.lines_per_row),
-            )
-            addresses.append(self._mapper.encode(decoded))
-        return addresses
+            rows[i] = randint(0, rows_per_bank)
+            columns[i] = randint(0, lines_per_row)
+        index = np.arange(share, dtype=np.int64)
+        addresses = self._mapper.encode_batch(
+            channel=(self.core_id + index) % channels,
+            rank=np.zeros(share, dtype=np.int64),
+            bank=(self.core_id * 3 + index) % banks,
+            row=rows,
+            column=columns,
+        )
+        return addresses.tolist()
 
     def _derive_hot_probability(self) -> float:
         """Probability an access targets the hot rotation.
