@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check check-flow bench bench-smoke bench-gate trace-smoke report-smoke profile experiments clean-cache
+.PHONY: test lint check check-flow checkpoint-smoke bench bench-smoke bench-gate trace-smoke report-smoke profile experiments clean-cache
 
 test:  ## tier-1 suite (unit/integration/property)
 	$(PYTHON) -m pytest -x -q
@@ -13,8 +13,12 @@ lint:  ## ruff + mypy (configs in pyproject.toml)
 check:  ## repro.check pillars: linter, salt drift, sanitizer smoke, flow engine
 	$(PYTHON) -m repro check
 
-check-flow:  ## flow engine only: entropy provenance, oracle drift, hot-path advice
+check-flow:  ## flow engine only: entropy, oracle drift, hot-path, snapshot coverage
 	$(PYTHON) -m repro check --flow
+
+checkpoint-smoke:  ## checkpoint round-trip oracle on a tiny run (bit-identical resume)
+	$(PYTHON) -m repro checkpoint stream rrs --records 600 --cores 2 --verify
+	$(PYTHON) -m repro checkpoint stream none --records 600 --cores 2 --verify
 
 bench:  ## regenerate every table & figure (slow; honours REPRO_JOBS)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -56,11 +56,15 @@ def run_workload(
     with_faults: bool = False,
     t_rh: float = 4800.0,
     obs=None,
+    checkpoints=None,
 ) -> SimMetrics:
     """One full-system run of a workload under a mitigation.
 
     ``obs`` (a :class:`repro.obs.Observability`) installs read-only
     tracing/metrics probes; None defers to the ``REPRO_TRACE`` env.
+    ``checkpoints`` (a :class:`~repro.state.checkpoint.CheckpointSession`)
+    opts the run into deterministic cut/resume; results are
+    bit-identical with or without it.
     """
     dram = DRAMConfig().scaled(scale)
     config = SystemConfig(dram=dram, cores=cores, with_faults=with_faults, t_rh=t_rh)
@@ -80,7 +84,7 @@ def run_workload(
         # Columnar chunks: SystemSimulator.run batch-decodes each block
         # and pools request objects. Bit-identical to .records().
         traces.append(generator.chunks(records_per_core))
-    return sim.run(traces, workload=spec.name)
+    return sim.run(traces, workload=spec.name, checkpoints=checkpoints)
 
 
 @dataclass

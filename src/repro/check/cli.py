@@ -11,8 +11,10 @@ Runs up to four pillars and folds everything into one exit code:
 * ``--flow``  — the interprocedural flow engine: entropy provenance
   (FLW...), oracle-pair drift against the committed
   ``oracle_manifest.json`` (ORA..., re-blessed by ``--update-oracles``),
-  and the advisory hot-path allocation lint (HOT..., baselined in
-  ``flow_baseline.json``, re-blessed by ``--update-baseline``).
+  the advisory hot-path allocation lint (HOT..., baselined in
+  ``flow_baseline.json``, re-blessed by ``--update-baseline``), and the
+  snapshot-coverage pass (STA...: mutable-sim-state classes missing the
+  ``repro.state`` Snapshotable protocol).
 
 With no pillar flag, all four run. ``--format json`` emits a single
 machine-readable findings document. The exit code reflects only the
@@ -33,6 +35,7 @@ from repro.check.linter import lint_paths, lint_tree
 from repro.check.oracle import check_oracles, write_oracle_manifest
 from repro.check.salt import check_salt, find_repo_root, write_manifest
 from repro.check.sanitizer import ProtocolSanitizer, ProtocolViolation
+from repro.check.statecheck import check_statecheck
 
 
 def _run_rules(root: Optional[Path], paths: List[str]) -> List[Finding]:
@@ -150,6 +153,7 @@ def _run_flow(
     findings.extend(check_entropy(graph))
     findings.extend(check_oracles(graph))
     findings.extend(check_hotpath(graph))
+    findings.extend(check_statecheck(graph))
     return findings
 
 

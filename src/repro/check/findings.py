@@ -172,6 +172,22 @@ RULES: Dict[str, RuleInfo] = {
         "hot loop; hoist it into a local before the loop",
         SEVERITY_ADVICE,
     ),
+    # Snapshot-coverage pass (repro.check.statecheck): every class with
+    # run-evolving state must join the repro.state Snapshotable protocol.
+    "STA001": RuleInfo(
+        "mutable-state-not-snapshotable",
+        "a class in a simulation package mutates instance state outside "
+        "its constructor but implements neither snapshot_state nor "
+        "restore_state (directly or via a project base); checkpoint "
+        "resumes silently skip its state — join the protocol or "
+        "suppress on the class line with a justification",
+    ),
+    "STA002": RuleInfo(
+        "one-sided-snapshot-protocol",
+        "a class implements exactly one of snapshot_state/restore_state; "
+        "state that can be captured but not restored (or vice versa) "
+        "defeats the checkpoint round-trip oracle",
+    ),
     # Cross-run regression detector (repro.obs.regress) over the
     # sweep-fleet run ledger.
     "REG001": RuleInfo(

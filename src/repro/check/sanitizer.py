@@ -401,6 +401,75 @@ class ProtocolSanitizer:
         self.audits += 1
         _audit_rrs_banks(mitigation)
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): checker state is part of sim state
+    # under REPRO_SANITIZE=1 — a resumed run must see the same open-row
+    # shadow and rank ACT history a from-scratch run would. The per-rank
+    # deques are shared across a rank's checkers, so they are deduped by
+    # identity in install order and restored in place.
+    # ------------------------------------------------------------------
+    def _shared_rank_histories(self) -> List[Deque[float]]:
+        histories: List[Deque[float]] = []
+        for checker in self.checkers:
+            acts = checker._rank_acts
+            if acts is not None and not any(acts is h for h in histories):
+                histories.append(acts)
+        return histories
+
+    def snapshot_state(self) -> tuple:
+        return (
+            self.audits,
+            [
+                (
+                    checker.open_row,
+                    checker.last_act_ns,
+                    checker.last_pre_ns,
+                    checker.commands_seen,
+                    [(c.kind, c.row, c.time_ns) for c in checker.recent],
+                )
+                for checker in self.checkers
+            ],
+            [list(acts) for acts in self._shared_rank_histories()],
+            None
+            if self.refresh_checker is None
+            else (
+                self.refresh_checker.last_burst_ns,
+                self.refresh_checker.bursts_seen,
+            ),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        audits, checkers, rank_histories, refresh = state
+        if len(checkers) != len(self.checkers):
+            raise ValueError("checker count mismatch in sanitizer snapshot")
+        self.audits = audits
+        for checker, entry in zip(self.checkers, checkers):
+            open_row, last_act, last_pre, seen, recent = entry
+            checker.open_row = open_row
+            checker.last_act_ns = last_act
+            checker.last_pre_ns = last_pre
+            checker.commands_seen = seen
+            checker.recent.clear()
+            checker.recent.extend(
+                TracedCommand(kind=kind, row=row, time_ns=t)
+                for kind, row, t in recent
+            )
+        histories = self._shared_rank_histories()
+        if len(rank_histories) != len(histories):
+            raise ValueError("rank history count mismatch in snapshot")
+        for acts, saved in zip(histories, rank_histories):
+            acts.clear()
+            acts.extend(saved)
+        if refresh is not None:
+            if self.refresh_checker is None:
+                raise ValueError(
+                    "snapshot carries refresh-checker state but none is "
+                    "installed"
+                )
+            last_burst_ns, bursts_seen = refresh
+            self.refresh_checker.last_burst_ns = last_burst_ns
+            self.refresh_checker.bursts_seen = bursts_seen
+
     @property
     def commands_checked(self) -> int:
         """Commands validated across all banks so far."""

@@ -1,0 +1,219 @@
+"""Snapshot-coverage lint: mutable sim state must be ``Snapshotable``.
+
+The checkpoint/restore subsystem (:mod:`repro.state`) only produces
+bit-identical resumes when *every* object whose state evolves during a
+run participates in the ``snapshot_state()`` / ``restore_state()``
+protocol. A class that accumulates state across requests but is absent
+from the checkpoint payload silently diverges after a resume — the
+worst kind of bug, because nothing crashes.
+
+This pass closes the loop statically. Over the simulation packages
+(``core``, ``dram``, ``mem``, ``track``, ``mitigations``,
+``workloads``, ``state``, ``utils``) it flags:
+
+* **STA001** — a class that mutates instance state outside its
+  constructor (``self.x = ...`` / ``self.x += ...`` in any method other
+  than ``__init__``/``__post_init__``/``__new__``) but implements
+  neither protocol method, directly or via a project base class. Either
+  the class holds run-evolving state and must join the protocol, or it
+  is legitimately out of scope and the ``class`` line carries a
+  justified suppression::
+
+      class Tracer:  # repro-check: STA001 -- observational; never restored
+
+* **STA002** — a class implementing exactly one of the pair; a
+  one-sided protocol can snapshot state it can never restore (or vice
+  versa), which defeats the round-trip oracle.
+
+Detection is deliberately syntactic and conservative: only direct
+``self.<attr>`` assignment/augmented-assignment counts as evidence of
+mutable state. Mutating *calls* (``self.items.append(...)``) on
+never-reassigned attributes are invisible to this pass — classes built
+that way should still join the protocol, but enforcing it here would
+drown the signal in false positives from read-only helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check.callgraph import ClassInfo, ProjectGraph
+from repro.check.findings import Finding, apply_suppressions, sort_findings
+
+# Subpackages of src/repro whose classes hold simulated state. Packages
+# that only *observe* runs (obs), orchestrate them (exec, analysis,
+# attacks, software), or check them (check) are out of scope: their
+# state is never part of a checkpoint payload.
+SIM_STATE_PACKAGES = (
+    "core",
+    "dram",
+    "mem",
+    "track",
+    "mitigations",
+    "workloads",
+    "state",
+    "utils",
+)
+
+# Constructor-shaped methods: assignments here establish state rather
+# than evolve it.
+_CTOR_METHODS = {"__init__", "__post_init__", "__new__"}
+
+_SNAPSHOT = "snapshot_state"
+_RESTORE = "restore_state"
+
+
+def _module_in_scope(module: str) -> bool:
+    parts = module.split(".")
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] in SIM_STATE_PACKAGES
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_mutations(method: ast.AST) -> Optional[int]:
+    """First line mutating ``self.<attr>`` in a method body, or None.
+
+    Nested functions and lambdas are walked too — a closure mutating
+    ``self`` is still run-evolving state.
+    """
+    first: Optional[int] = None
+    for node in ast.walk(method):
+        targets: Iterable[ast.AST] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = (node.target,)
+        for target in targets:
+            # Tuple unpacking: (self.a, self.b) = ... counts per element.
+            elements = (
+                target.elts if isinstance(target, (ast.Tuple, ast.List)) else (target,)
+            )
+            for element in elements:
+                if _is_self_attribute(element):
+                    if first is None or node.lineno < first:
+                        first = node.lineno
+    return first
+
+
+def _project_bases(graph: ProjectGraph, info: ClassInfo) -> List[str]:
+    """Qualnames of ``info``'s base classes resolvable inside the project."""
+    module = graph.modules[info.module]
+    bases: List[str] = []
+    for base in info.node.bases:
+        if isinstance(base, ast.Name):
+            local = f"{info.module}.{base.id}"
+            if local in graph.classes:
+                bases.append(local)
+                continue
+            target = module.imports.get(base.id)
+            if target and target in graph.classes:
+                bases.append(target)
+        elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            target = module.imports.get(base.value.id)
+            if target:
+                candidate = f"{target}.{base.attr}"
+                if candidate in graph.classes:
+                    bases.append(candidate)
+    return bases
+
+
+def _defines(
+    graph: ProjectGraph,
+    qualname: str,
+    method: str,
+    seen: Optional[Set[str]] = None,
+) -> bool:
+    """Does the class (or a project ancestor) define ``method``?"""
+    if seen is None:
+        seen = set()
+    if qualname in seen:
+        return False
+    seen.add(qualname)
+    info = graph.classes.get(qualname)
+    if info is None:
+        return False
+    if method in info.methods:
+        return True
+    return any(
+        _defines(graph, base, method, seen)
+        for base in _project_bases(graph, info)
+    )
+
+
+def _evidence(info: ClassInfo) -> Optional[Tuple[str, int]]:
+    """``(method name, line)`` of the first post-constructor mutation."""
+    best: Optional[Tuple[str, int]] = None
+    for item in info.node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in _CTOR_METHODS or item.name in (_SNAPSHOT, _RESTORE):
+            continue
+        line = _self_mutations(item)
+        if line is not None and (best is None or line < best[1]):
+            best = (item.name, line)
+    return best
+
+
+def check_statecheck(graph: ProjectGraph) -> List[Finding]:
+    """Run the snapshot-coverage pass over the simulation packages."""
+    by_path: Dict[str, List[Finding]] = {}
+    for qualname, info in sorted(graph.classes.items()):
+        if not _module_in_scope(info.module):
+            continue
+        has_snapshot = _defines(graph, qualname, _SNAPSHOT)
+        has_restore = _defines(graph, qualname, _RESTORE)
+        if has_snapshot and has_restore:
+            continue
+        class_name = qualname.rsplit(".", 1)[1]
+        if has_snapshot or has_restore:
+            present = _SNAPSHOT if has_snapshot else _RESTORE
+            missing = _RESTORE if has_snapshot else _SNAPSHOT
+            by_path.setdefault(info.path, []).append(
+                Finding(
+                    rule="STA002",
+                    path=info.path,
+                    line=info.node.lineno,
+                    message=(
+                        f"{class_name} implements {present} but not "
+                        f"{missing}; a one-sided protocol breaks the "
+                        "checkpoint round-trip oracle"
+                    ),
+                    snippet=f"class {class_name}",
+                )
+            )
+            continue
+        evidence = _evidence(info)
+        if evidence is None:
+            continue
+        method, line = evidence
+        by_path.setdefault(info.path, []).append(
+            Finding(
+                rule="STA001",
+                path=info.path,
+                line=info.node.lineno,
+                message=(
+                    f"{class_name} mutates instance state outside its "
+                    f"constructor ({method}, line {line}) but is not "
+                    "Snapshotable; checkpoint resumes silently skip this "
+                    "state — implement snapshot_state/restore_state or "
+                    "suppress with a justification"
+                ),
+                snippet=f"class {class_name}",
+            )
+        )
+
+    findings: List[Finding] = []
+    for path, found in sorted(by_path.items()):
+        module = next(
+            (m for m in graph.modules.values() if m.path == path), None
+        )
+        source = module.source if module is not None else ""
+        findings.extend(apply_suppressions(found, source, path))
+    return sort_findings(findings)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the library's main entry points:
+Nine subcommands cover the library's main entry points:
 
 * ``run``      — timing simulation of a workload under a defense
 * ``attack``   — an attack pattern against a defense (flip or not?)
@@ -11,6 +11,10 @@ Eight subcommands cover the library's main entry points:
 * ``report``   — self-contained HTML dashboard from the sweep run
   ledger: per-worker timelines, cache hit-rates, throughput
   trajectories, cross-run drift findings (see :mod:`repro.obs`)
+* ``checkpoint`` — deterministic checkpoint/restore for one run:
+  persist cuts, resume from the deepest usable one, list a
+  fingerprint's cuts, or verify the round-trip oracle (see
+  :mod:`repro.state`)
 * ``info``     — list available workloads, defenses, and attacks
 * ``check``    — determinism linter, cache-salt drift detector, a DDR4
   protocol-sanitizer smoke run, and the interprocedural flow engine
@@ -373,6 +377,151 @@ def _cmd_report(args) -> int:
     return 0
 
 
+CHECKPOINT_DEFENSES = ("none", "rrs", "blockhammer", "ideal-vfm")
+
+
+def _checkpoint_spec(defense: str, scale: int, t_rh: int):
+    """The :class:`MitigationSpec` for a checkpoint-capable defense.
+
+    Only spec-expressible kinds are offered: the fingerprint must match
+    what sweep points compute, so warm-start checkpoints are shared
+    between this verb and :class:`~repro.exec.runner.SweepRunner`.
+    """
+    from repro.exec.specs import MitigationSpec
+
+    dram = DRAMConfig().scaled(scale)
+    scaled_t_rh = max(12, t_rh // scale)
+    if defense == "none":
+        return MitigationSpec.none()
+    if defense == "rrs":
+        return MitigationSpec.rrs(t_rh=t_rh, scale=scale)
+    if defense == "blockhammer":
+        return MitigationSpec.blockhammer(
+            t_rh=scaled_t_rh,
+            blacklist_threshold=max(2, 512 // scale),
+            window_ns=dram.refresh_window_ns,
+        )
+    if defense == "ideal-vfm":
+        return MitigationSpec.ideal_vfm(t_rh=scaled_t_rh)
+    raise ValueError(f"unknown checkpoint defense {defense!r}")
+
+
+def _cmd_checkpoint(args) -> int:
+    """Checkpointed runs: persist cuts, resume, list, verify round-trips."""
+    # Lazy imports: the state machinery stays off every other verb.
+    from pathlib import Path
+
+    from repro.exec.runner import (
+        SweepPoint,
+        _checkpoint_every,
+        _resume_usable,
+        execute_point,
+    )
+    from repro.state.checkpoint import (
+        CheckpointSession,
+        CheckpointStore,
+        SimCheckpoint,
+        default_checkpoint_dir,
+    )
+
+    point = SweepPoint(
+        workload=args.workload,
+        mitigation=_checkpoint_spec(args.defense, args.scale, args.t_rh),
+        scale=args.scale,
+        records_per_core=args.records or None,
+        cores=args.cores,
+        seed=args.seed,
+        t_rh=float(args.t_rh),
+    ).resolved()
+    fingerprint = point.checkpoint_fingerprint()
+    total = point.records_per_core * point.cores
+    root = Path(args.store) if args.store else default_checkpoint_dir()
+    store = CheckpointStore(root=root)
+    label = f"{point.workload}/{args.defense}@1/{point.scale} seed {point.seed}"
+
+    if args.list:
+        cuts = store.cuts(fingerprint)
+        print(f"{label}: fingerprint {fingerprint}")
+        print(f"store: {store.root}")
+        if not cuts:
+            print("no persisted cuts")
+        for cut in cuts:
+            usable = _resume_usable(
+                store.get(fingerprint, cut), point.records_per_core
+            ) if store.get(fingerprint, cut) else False
+            marker = "" if usable else "  (not usable for this length)"
+            print(f"  cut {cut:>8} / {total}{marker}")
+        return 0
+
+    if args.verify:
+        cut = args.cut if args.cut >= 0 else total // 2
+        captured = {}
+        session = CheckpointSession(
+            fingerprint=fingerprint,
+            cuts=(cut,),
+            sink=lambda ckpt: captured.setdefault(ckpt.serviced, ckpt),
+        )
+        baseline = execute_point(point, checkpoints=session)
+        if cut not in captured:
+            print(f"FAIL: cut {cut} was never reached (total {total})")
+            return 1
+        # Round-trip through strict JSON: exactly what a fresh process
+        # would load from disk.
+        reloaded = SimCheckpoint.loads(captured[cut].dumps())
+        resumed = execute_point(
+            point,
+            checkpoints=CheckpointSession(
+                fingerprint=fingerprint, resume=reloaded
+            ),
+        )
+        if resumed == baseline:
+            print(
+                f"PASS: {label} resumed from cut {cut}/{total}; "
+                "SimMetrics bit-identical"
+            )
+            return 0
+        print(f"FAIL: {label} diverged after resume from cut {cut}/{total}")
+        for field_name in ("ipc", "accesses", "swaps", "victim_refreshes",
+                          "sim_time_ns", "bit_flips"):
+            base = getattr(baseline, field_name, "")
+            got = getattr(resumed, field_name, "")
+            if base != got:
+                print(f"  {field_name}: expected {base!r}, got {got!r}")
+        return 1
+
+    resume = None
+    if not args.fresh:
+        resume = store.latest(
+            fingerprint,
+            max_serviced=total,
+            accept=lambda ckpt: _resume_usable(ckpt, point.records_per_core),
+        )
+    session = CheckpointSession(
+        fingerprint=fingerprint,
+        every=args.every or _checkpoint_every(total),
+        sink=store.put,
+        resume=resume,
+        meta={
+            "records_per_core": point.records_per_core,
+            "workload": point.workload,
+            "mitigation": point.mitigation.kind,
+        },
+    )
+    metrics = execute_point(point, checkpoints=session)
+    origin = "from scratch"
+    if session.resumed_from:
+        origin = f"resumed from cut {session.resumed_from}"
+    print(
+        f"{label}: {metrics.accesses:,} requests ({origin}), "
+        f"IPC {metrics.ipc:.3f}, {metrics.swaps} swaps"
+    )
+    print(
+        f"persisted {len(session.saved)} cut(s) "
+        f"{session.saved or '[]'} -> {store.root}"
+    )
+    return 0
+
+
 def _cmd_check(args) -> int:
     # Imported here so `repro run/attack` never pay for the analysis
     # machinery.
@@ -547,6 +696,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when an error-tier drift finding is present",
     )
     report.set_defaults(func=_cmd_report)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="checkpointed runs: persist cuts, resume, verify round-trips",
+        description=(
+            "Run one workload/defense point with deterministic "
+            "checkpointing (repro.state). Default: persist cuts to the "
+            "checkpoint store, resuming from the deepest usable cut if "
+            "one exists. --list shows persisted cuts for the point's "
+            "fingerprint; --verify runs the round-trip oracle (snapshot "
+            "at a cut, restore through strict JSON, run to completion, "
+            "compare SimMetrics bit-for-bit). Fingerprints match the "
+            "sweep runner's, so cuts persisted here warm-start sweeps "
+            "run with REPRO_CHECKPOINT=1 and vice versa."
+        ),
+    )
+    checkpoint.add_argument("workload", help="workload name (see `repro info`)")
+    checkpoint.add_argument(
+        "defense", nargs="?", choices=CHECKPOINT_DEFENSES, default="rrs",
+        help="spec-expressible defense (default: rrs)",
+    )
+    checkpoint.add_argument("--scale", type=int, default=32)
+    checkpoint.add_argument("--t-rh", type=int, default=4800)
+    checkpoint.add_argument(
+        "--records", type=int, default=0,
+        help="records per core (0 = size for full refresh windows)",
+    )
+    checkpoint.add_argument("--cores", type=int, default=8)
+    checkpoint.add_argument("--seed", type=int, default=0)
+    checkpoint.add_argument(
+        "--every", type=int, default=0,
+        help="cut interval in serviced requests "
+        "(0 = block-aligned quarters of the run)",
+    )
+    checkpoint.add_argument(
+        "--store", default="",
+        help="checkpoint store root (default: <cache-dir>/checkpoints)",
+    )
+    checkpoint.add_argument(
+        "--fresh", action="store_true",
+        help="ignore persisted cuts; always run from scratch",
+    )
+    checkpoint.add_argument(
+        "--list", action="store_true",
+        help="list persisted cuts for this point's fingerprint and exit",
+    )
+    checkpoint.add_argument(
+        "--verify", action="store_true",
+        help="round-trip oracle: cut, restore via JSON, compare metrics",
+    )
+    checkpoint.add_argument(
+        "--cut", type=int, default=-1,
+        help="serviced count to cut at for --verify (-1 = run midpoint)",
+    )
+    checkpoint.set_defaults(func=_cmd_checkpoint)
 
     info = sub.add_parser("info", help="list workloads/defenses/attacks")
     info.set_defaults(func=_cmd_info)

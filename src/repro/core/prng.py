@@ -39,6 +39,16 @@ class PrinceStylePRNG:
         self.counter += 1
         return block
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): CTR mode means the stream position is
+    # exactly the counter; the key is construction-time config.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (self.counter,)
+
+    def restore_state(self, state: tuple) -> None:
+        (self.counter,) = state
+
     def below(self, bound: int) -> int:
         """Uniform integer in [0, bound) via rejection sampling."""
         if bound <= 0:

@@ -152,6 +152,43 @@ class RowIndirectionTable:
         return ops
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    #
+    # ``_map`` is captured in insertion order: ``_evictable_rows``
+    # iterates it and the default eviction policy takes the first
+    # candidate, so the order is part of the observable state. The
+    # ``forward`` dict is restored *in place* — the RRS front end hands
+    # the controller direct references to it as a route view, and those
+    # aliases must keep seeing the restored mapping.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.window,
+            self.installs,
+            self.evictions,
+            [
+                (row, entry.physical, entry.window)
+                for row, entry in self._map.items()
+            ],
+            None if self._cat is None else self._cat.snapshot_state(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        window, installs, evictions, entries, cat_state = state
+        self.window = window
+        self.installs = installs
+        self.evictions = evictions
+        self._map.clear()
+        self.forward.clear()
+        self._inverse.clear()
+        for row, physical, entry_window in entries:
+            self._map[row] = RITEntry(physical=physical, window=entry_window)
+            self.forward[row] = physical
+            self._inverse[physical] = row
+        if self._cat is not None:
+            self._cat.restore_state(cat_state)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _remove_forward(self, row: int) -> Optional[RITEntry]:

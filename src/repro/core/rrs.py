@@ -72,6 +72,19 @@ class SwapRateDetector:
         """Window rollover: swap counts reset with the epoch."""
         self._counts.clear()
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (self.flagged, list(self._counts.items()))
+
+    def restore_state(self, state: tuple) -> None:
+        flagged, counts = state
+        self.flagged = flagged
+        self._counts = Counter()
+        for row, hits in counts:
+            self._counts[row] = hits
+
 
 @dataclass
 class _BankState:
@@ -220,6 +233,67 @@ class RandomizedRowSwap(BankBatchedMitigation):
                 engine.observer = self.engine_observer
             self._engines[channel] = engine
         return engine
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state). Per-bank bundles are rebuilt through
+    # ``_bank`` (the seeds are config-derived, so a fresh construction
+    # matches) and restored component-wise. The batched route views are
+    # republished *in place* afterwards — the controller may hold the
+    # view lists by reference — and credits re-primed from the restored
+    # trackers.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.window,
+            self.total_swaps,
+            list(self.swap_history),
+            self.preemptive_refreshes,
+            self._swaps_this_window,
+            {
+                key: (
+                    state.tracker.snapshot_state(),
+                    state.rit.snapshot_state(),
+                    state.prng.snapshot_state(),
+                    state.swaps_this_window,
+                )
+                for key, state in self._banks.items()
+            },
+            {
+                channel: engine.snapshot_state()
+                for channel, engine in self._engines.items()
+            },
+            None if self.detector is None else self.detector.snapshot_state(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            self.window,
+            self.total_swaps,
+            swap_history,
+            self.preemptive_refreshes,
+            self._swaps_this_window,
+            banks,
+            engines,
+            detector_state,
+        ) = state
+        self.swap_history = list(swap_history)
+        self._banks = {}
+        for key, (tracker_state, rit_state, prng_state, swaps) in banks.items():
+            bank = self._bank(key)
+            bank.tracker.restore_state(tracker_state)
+            bank.rit.restore_state(rit_state)
+            bank.prng.restore_state(prng_state)
+            bank.swaps_this_window = swaps
+        for channel, engine_state in engines.items():
+            self.swap_engine(channel).restore_state(engine_state)
+        if self.detector is not None and detector_state is not None:
+            self.detector.restore_state(detector_state)
+        for channel, view in self._route_views.items():
+            batch = self._batch_states[channel]
+            for i, key in enumerate(batch.keys):
+                bank = self._banks.get(key)
+                view[i] = None if bank is None else bank.rit.forward
+        self._reset_batch_credits()
 
     # ------------------------------------------------------------------
     # Internals

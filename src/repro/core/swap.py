@@ -51,6 +51,12 @@ class SwapBuffer:
         row, self.holder = self.holder, -1
         return row
 
+    def snapshot_state(self) -> tuple:
+        return (self.holder,)
+
+    def restore_state(self, state: tuple) -> None:
+        (self.holder,) = state
+
 
 class SwapEngine:
     """Executes swap operations and accounts their channel-block time."""
@@ -101,3 +107,24 @@ class SwapEngine:
                 self.observer(op, self.op_latency_ns)
         self.total_blocked_ns += total
         return total
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the buffers drain within execute(),
+    # so between requests only the accounting (and the staged-row
+    # markers, always -1 at a cut) is live.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.ops_executed,
+            self.total_blocked_ns,
+            self.buffer_1.holder,
+            self.buffer_2.holder,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            self.ops_executed,
+            self.total_blocked_ns,
+            self.buffer_1.holder,
+            self.buffer_2.holder,
+        ) = state

@@ -120,6 +120,28 @@ class Bank:
         return self.timing.observer is None and self.disturbance is None
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state). The disturbance model is snapshotted
+    # by its own protocol implementation (the device owns that
+    # round-trip); the bank covers timing plus activation accounting.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.timing.snapshot_state(),
+            dict(self.window_act_counts),
+            self.total_activations,
+            self.windows_elapsed,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        timing_state, act_counts, total_activations, windows_elapsed = state
+        self.timing.restore_state(timing_state)
+        self.window_act_counts = Counter()
+        for row, count in act_counts.items():
+            self.window_act_counts[row] = count
+        self.total_activations = total_activations
+        self.windows_elapsed = windows_elapsed
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _check_row(self, row: int) -> None:

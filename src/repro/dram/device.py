@@ -67,6 +67,37 @@ class Rank:
             if bank.disturbance is not None
         )
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): one entry per bank, pairing the
+    # bank's own state with its fault model's (None when faults are
+    # disabled for this run).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            [
+                (
+                    bank.snapshot_state(),
+                    None
+                    if bank.disturbance is None
+                    else bank.disturbance.snapshot_state(),
+                )
+                for bank in self.banks
+            ],
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (banks,) = state
+        if len(banks) != len(self.banks):
+            raise ValueError("bank count mismatch in rank snapshot")
+        for bank, (bank_state, disturbance_state) in zip(self.banks, banks):
+            bank.restore_state(bank_state)
+            if disturbance_state is not None:
+                if bank.disturbance is None:
+                    raise ValueError(
+                        "snapshot carries fault state but faults are disabled"
+                    )
+                bank.disturbance.restore_state(disturbance_state)
+
 
 class Channel:
     """One channel: ranks plus the shared data bus."""
@@ -113,3 +144,20 @@ class Channel:
         """Refresh-window rollover for every rank."""
         for rank in self.ranks:
             rank.end_window()
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.bus_free_ns,
+            [rank.snapshot_state() for rank in self.ranks],
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        bus_free_ns, ranks = state
+        if len(ranks) != len(self.ranks):
+            raise ValueError("rank count mismatch in channel snapshot")
+        self.bus_free_ns = bus_free_ns
+        for rank, rank_state in zip(self.ranks, ranks):
+            rank.restore_state(rank_state)

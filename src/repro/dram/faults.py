@@ -155,6 +155,28 @@ class DisturbanceModel:
         return np.nonzero(self._disturbance >= threshold)[0]
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state): flip events travel as plain tuples
+    # (the frozen dataclass is rebuilt on restore).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.window,
+            [(e.row, e.window, e.disturbance, e.cause) for e in self.flips],
+            self._disturbance.copy(),
+            self._flipped_this_window.copy(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        window, flips, disturbance, flipped = state
+        self.window = window
+        self.flips = [
+            BitFlipEvent(row=row, window=w, disturbance=d, cause=cause)
+            for row, w, d, cause in flips
+        ]
+        self._disturbance[:] = disturbance
+        self._flipped_this_window[:] = flipped
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _check_row(self, row: int) -> None:

@@ -91,6 +91,32 @@ class RefreshScheduler:
         self._advance_windows(now_ns)
         self.next_due_ns = min(self._next_refi_ns, self._next_window_ns)
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): schedule cursors and counters; the
+    # channels restore themselves through their own protocol.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.postponed,
+            self.postponements,
+            self._next_refi_ns,
+            self._next_window_ns,
+            self.next_due_ns,
+            self.refresh_bursts,
+            self.windows_completed,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            self.postponed,
+            self.postponements,
+            self._next_refi_ns,
+            self._next_window_ns,
+            self.next_due_ns,
+            self.refresh_bursts,
+            self.windows_completed,
+        ) = state
+
     def _rank_busy_at(self, time_ns: float) -> bool:
         """True when any bank has work scheduled past ``time_ns``."""
         return any(

@@ -138,24 +138,20 @@ class BankTimingState:
         self.ready_ns = max(self.ready_ns, until_ns)
 
     # ------------------------------------------------------------------
-    # Block-kernel state exchange (repro.mem.block_kernel)
+    # Snapshotable (repro.state) — also the block-kernel state exchange
+    # (repro.mem.block_kernel): the fused kernel evolves these three
+    # scalars on flat arrays and hands them back via
+    # :meth:`restore_state`. The kernel never inlines a bank whose
+    # command stream has an observer attached, so the exchange is only
+    # ever applied to unobserved open-page banks.
     # ------------------------------------------------------------------
-    def export_state(self) -> "tuple[int, float, float]":
-        """Snapshot ``(open_row, last_act_ns, ready_ns)`` — the full
-        open-page timing state. The fused block kernel evolves these on
-        flat arrays and hands them back via :meth:`adopt_state`."""
+    def snapshot_state(self) -> "tuple[int, float, float]":
+        """``(open_row, last_act_ns, ready_ns)`` — the full open-page
+        timing state (the cached ``_t_*`` scalars are config)."""
         return self.open_row, self.last_act_ns, self.ready_ns
 
-    def adopt_state(
-        self, open_row: int, last_act_ns: float, ready_ns: float
-    ) -> None:
-        """Install a kernel-evolved snapshot (inverse of
-        :meth:`export_state`). Only valid for unobserved open-page
-        banks: the kernel never inlines a bank whose command stream
-        has an observer attached."""
-        self.open_row = open_row
-        self.last_act_ns = last_act_ns
-        self.ready_ns = ready_ns
+    def restore_state(self, state: "tuple[int, float, float]") -> None:
+        self.open_row, self.last_act_ns, self.ready_ns = state
 
     def _emit(self, kind: str, row: int, time_ns: float) -> None:
         if self.observer is not None:

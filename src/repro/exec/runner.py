@@ -12,8 +12,12 @@ streams derived from the point's seed (``repro.utils.rng``), so results
 are bit-identical whether a point executes in-process, in a worker, or
 comes back from the cache. A parallel sweep therefore reproduces a
 serial one exactly, and the determinism suite asserts it. Retries lean
-on the same property: a crashed worker's point is re-executed once and
-yields the metrics the first attempt would have produced.
+on the same property: a crashed worker's point is re-executed (up to
+``$REPRO_MAX_RETRIES`` times, default 1) and yields the metrics the
+first attempt would have produced. With ``REPRO_CHECKPOINT=1`` a retry
+resumes from the point's deepest persisted cut instead of replaying
+from scratch — still bit-identical, by the repro.state round-trip
+oracle.
 
 Fleet telemetry: every point (simulated, cached, retried, failed) is
 recorded in the append-only :class:`~repro.obs.ledger.RunLedger`
@@ -25,10 +29,11 @@ progress line. All of it is observational — results with the ledger
 enabled are bit-identical to disabled.
 
 Crash containment: a worker that dies (or raises) fails only its
-point(s); each is retried exactly once in a fresh pool, the failure is
+point(s); each is retried in a fresh pool until its retry budget
+(``$REPRO_MAX_RETRIES``, validated, default 1) is spent, the failure is
 recorded in the ledger, and the sweep completes. Only a point that
-fails twice aborts the sweep — a partial result set must never
-masquerade as a complete one.
+fails on every allowed attempt aborts the sweep — a partial result set
+must never masquerade as a complete one.
 
 Worker count: the ``jobs`` argument, else ``$REPRO_JOBS``, else 1.
 
@@ -62,6 +67,12 @@ from repro.mem.system import SystemConfig
 _ENV_JOBS = "REPRO_JOBS"
 _ENV_PROGRESS = "REPRO_PROGRESS"
 _ENV_FAULT = "REPRO_TEST_FAULT_ONCE"
+_ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+_ENV_CHECKPOINT_EVERY = "REPRO_CHECKPOINT_EVERY"
+_ENV_FAULT_AFTER_CKPT = "REPRO_TEST_FAULT_AFTER_CKPT"
+
+# Retries allowed per point when $REPRO_MAX_RETRIES is unset.
+DEFAULT_MAX_RETRIES = 1
 
 # How long one poll of the in-flight future set may block before the
 # straggler check runs again (seconds; telemetry cadence only).
@@ -79,6 +90,29 @@ def default_jobs() -> int:
     except ValueError:
         return 1
     return max(1, jobs)
+
+
+def max_retries_from_env() -> int:
+    """Retries per point from ``$REPRO_MAX_RETRIES`` (validated).
+
+    Unset means :data:`DEFAULT_MAX_RETRIES`; anything that is not a
+    non-negative integer is rejected loudly — a typo here must not
+    silently change crash-containment behaviour.
+    """
+    raw = os.environ.get(_ENV_MAX_RETRIES, "")
+    if not raw:
+        return DEFAULT_MAX_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_MAX_RETRIES} must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{_ENV_MAX_RETRIES} must be a non-negative integer, got {raw!r}"
+        )
+    return value
 
 
 def _new_run_id() -> str:
@@ -166,16 +200,160 @@ class SweepPoint:
         }
         return canonical_key(description, salt=salt)
 
+    def checkpoint_fingerprint(self) -> str:
+        """Fingerprint naming the *stream* this point simulates.
 
-def execute_point(point: SweepPoint) -> SimMetrics:
+        Deliberately excludes ``records_per_core``: trace generators
+        are seeded independently of length, so two points differing
+        only in record count replay bit-identical prefixes and may fork
+        from each other's warm-start checkpoints. It *includes* the
+        behaviour-shaping env toggles (sanitizer state is part of a
+        checkpoint; batching changes mitigation-internal layouts) that
+        the result cache rightly ignores.
+        """
+        from repro.state.checkpoint import run_fingerprint
+
+        point = self.resolved()
+        return run_fingerprint(
+            {
+                "workload": point.workload,
+                "mitigation": point.mitigation.canonical(),
+                "system": asdict(point.system_config()),
+                "seed": point.seed,
+                "env": {
+                    "REPRO_SANITIZE": os.environ.get("REPRO_SANITIZE", "0"),
+                    "REPRO_BATCH_MITIGATION": os.environ.get(
+                        "REPRO_BATCH_MITIGATION", "1"
+                    ),
+                },
+            }
+        )
+
+
+def _checkpoint_every(total_requests: int) -> int:
+    """Cut interval: ``$REPRO_CHECKPOINT_EVERY`` or block-aligned quarters."""
+    raw = os.environ.get(_ENV_CHECKPOINT_EVERY, "")
+    if raw:
+        try:
+            every = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_CHECKPOINT_EVERY} must be a non-negative integer, "
+                f"got {raw!r}"
+            ) from None
+        if every < 0:
+            raise ValueError(
+                f"{_ENV_CHECKPOINT_EVERY} must be a non-negative integer, "
+                f"got {raw!r}"
+            )
+        return every
+    from repro.workloads.trace import TRACE_BLOCK_RECORDS
+
+    quarter = (total_requests // 4 // TRACE_BLOCK_RECORDS) * TRACE_BLOCK_RECORDS
+    return max(quarter, TRACE_BLOCK_RECORDS)
+
+
+def _resume_usable(checkpoint, records_per_core: int) -> bool:
+    """Whether a persisted cut may seed this point's run.
+
+    Same-length checkpoints resume at any cut. A cross-length
+    warm-start fork needs two more guarantees:
+
+    * the origin's per-core record count is a multiple of
+      :data:`~repro.workloads.trace.TRACE_BLOCK_RECORDS` — trace
+      generators draw RNG batches at full block size and truncate the
+      final block, so a snapshot taken after a *partial* block cannot
+      regenerate that batch's dropped tail, and only full-block state
+      is shared bit-for-bit between lengths;
+    * the cut sits strictly before the origin's per-core count —
+      global serviced < per-core count means no core can have
+      exhausted its (shorter) trace, and exhaustion is core state a
+      longer run must never inherit.
+    """
+    origin = checkpoint.meta.get("records_per_core")
+    if not isinstance(origin, int):
+        return False
+    if origin == records_per_core:
+        return True
+    from repro.workloads.trace import TRACE_BLOCK_RECORDS
+
+    if origin % TRACE_BLOCK_RECORDS != 0:
+        return False
+    return checkpoint.serviced < origin
+
+
+def _maybe_inject_post_checkpoint_fault() -> None:
+    """Consume ``$REPRO_TEST_FAULT_AFTER_CKPT`` and fail (test hook).
+
+    Same file-body contract as ``REPRO_TEST_FAULT_ONCE``, but fires
+    right after a checkpoint is persisted — the resume-on-retry tests
+    use it to kill a run that provably has state on disk.
+    """
+    path = os.environ.get(_ENV_FAULT_AFTER_CKPT, "")
+    if not path:
+        return
+    try:
+        with open(path) as handle:
+            mode = handle.read().strip()
+        os.unlink(path)
+    except OSError:
+        return
+    if mode == "raise":
+        raise RuntimeError("injected post-checkpoint fault (repro test hook)")
+    os._exit(3)
+
+
+def _checkpoint_session(point: SweepPoint):
+    """A :class:`~repro.state.checkpoint.CheckpointSession` for one
+    point, or None unless ``REPRO_CHECKPOINT=1`` opts the sweep in."""
+    from repro.state.checkpoint import (
+        CheckpointSession,
+        CheckpointStore,
+        checkpoint_enabled_by_env,
+    )
+
+    if not checkpoint_enabled_by_env():
+        return None
+    point = point.resolved()
+    total = point.records_per_core * point.cores
+    store = CheckpointStore()
+    fingerprint = point.checkpoint_fingerprint()
+    resume = store.latest(
+        fingerprint,
+        max_serviced=total,
+        accept=lambda ckpt: _resume_usable(ckpt, point.records_per_core),
+    )
+
+    def sink(checkpoint) -> None:
+        store.put(checkpoint)
+        _maybe_inject_post_checkpoint_fault()
+
+    return CheckpointSession(
+        fingerprint=fingerprint,
+        every=_checkpoint_every(total),
+        sink=sink,
+        resume=resume,
+        meta={
+            "records_per_core": point.records_per_core,
+            "workload": point.workload,
+            "mitigation": point.mitigation.kind,
+        },
+    )
+
+
+def execute_point(point: SweepPoint, checkpoints=None) -> SimMetrics:
     """Run one sweep point to completion (no caching).
 
     Module-level so worker processes can unpickle it by reference.
+    ``checkpoints`` threads an explicit session through; None builds
+    one from the env (``REPRO_CHECKPOINT=1``) or runs plain.
     """
     from repro.analysis.perf import run_workload
     from repro.workloads.suites import get_workload
 
     point = point.resolved()
+    if checkpoints is None:
+        checkpoints = _checkpoint_session(point)
     return run_workload(
         get_workload(point.workload),
         point.mitigation.build(),
@@ -185,13 +363,15 @@ def execute_point(point: SweepPoint) -> SimMetrics:
         seed=point.seed,
         with_faults=point.with_faults,
         t_rh=point.t_rh,
+        checkpoints=checkpoints,
     )
 
 
 def _timed_execute_point(
     point: SweepPoint,
-) -> Tuple[SimMetrics, float, int, int]:
-    """Worker wrapper: result plus worker-measured seconds, pid, RSS.
+) -> Tuple[SimMetrics, float, int, int, int, int]:
+    """Worker wrapper: result plus worker-measured seconds, pid, RSS,
+    and checkpoint telemetry (requests resumed past, cuts persisted).
 
     The pid and peak-RSS reading let the parent's progress reporter and
     the run ledger attribute work to workers after a parallel sweep
@@ -200,12 +380,18 @@ def _timed_execute_point(
     """
     _maybe_inject_fault()
     started = time.perf_counter()
-    metrics = execute_point(point)
+    point = point.resolved()
+    session = _checkpoint_session(point)
+    metrics = execute_point(point, checkpoints=session)
+    resumed_from = session.resumed_from if session is not None else 0
+    saved = len(session.saved) if session is not None else 0
     return (
         metrics,
         time.perf_counter() - started,
         os.getpid(),
         _peak_rss_kb(),
+        resumed_from,
+        saved,
     )
 
 
@@ -233,6 +419,11 @@ class PointOutcome:
     # Host wall-clock completion time (telemetry; feeds the ledger's
     # ``ts`` so dashboards can reconstruct per-worker timelines).
     completed_ts: float = 0.0
+    # Checkpoint telemetry (REPRO_CHECKPOINT=1): how many serviced
+    # requests the run skipped by resuming from a persisted cut, and
+    # how many cuts it persisted itself.
+    resumed_from: int = 0
+    checkpoints_saved: int = 0
 
 
 @dataclass
@@ -245,6 +436,8 @@ class SweepStats:
     retried: int = 0
     stragglers: int = 0
     failed: int = 0
+    resumed: int = 0
+    checkpoints_saved: int = 0
     wall_seconds: float = 0.0
     per_label_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -269,8 +462,16 @@ class SweepRunner:
         ledger=None,
         use_ledger: bool = True,
         straggler_k: float = 4.0,
+        max_retries: Optional[int] = None,
     ) -> None:
         self.jobs = max(1, jobs) if jobs is not None else default_jobs()
+        # Retries allowed per failing point: explicit argument, else the
+        # validated $REPRO_MAX_RETRIES (default 1).
+        if max_retries is not None and max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_retries = (
+            max_retries if max_retries is not None else max_retries_from_env()
+        )
         if cache is not None:
             self.cache = cache
         elif use_cache:
@@ -369,6 +570,9 @@ class SweepRunner:
                     self.stats.failed += 1
                 if outcome.straggler:
                     self.stats.stragglers += 1
+                if outcome.resumed_from > 0:
+                    self.stats.resumed += 1
+                self.stats.checkpoints_saved += outcome.checkpoints_saved
             self.stats.simulated += len(pending)
 
         self.ledger.append_all(entries)
@@ -405,7 +609,9 @@ class SweepRunner:
             return None
         from repro.obs.progress import SweepProgress
 
-        return SweepProgress(total, jobs=self.jobs, label=label)
+        return SweepProgress(
+            total, jobs=self.jobs, label=label, max_retries=self.max_retries
+        )
 
     def _ledger_entry(
         self,
@@ -459,6 +665,9 @@ class SweepRunner:
             straggler=outcome.straggler,
             error=error or (outcome.error if outcome.metrics is None else ""),
             summary=summary,
+            max_retries=self.max_retries,
+            resumed_from=outcome.resumed_from,
+            checkpoints=outcome.checkpoints_saved,
         )
 
     def _ledger_entries_for_outcome(
@@ -502,33 +711,43 @@ class SweepRunner:
     def _execute_serial(
         self, points: Sequence[SweepPoint], reporter=None
     ) -> List[PointOutcome]:
-        """In-process execution with one retry per raising point."""
+        """In-process execution with ``max_retries`` retries per point."""
         outcomes: List[PointOutcome] = []
+        allowed = 1 + self.max_retries
         for point in points:
-            try:
-                metrics, seconds, worker, rss = _timed_execute_point(point)
-                outcome = PointOutcome(
-                    metrics, seconds, worker, rss, completed_ts=time.time()
-                )
-            except Exception as exc:  # crash containment: retry once
-                first_error = repr(exc)
-                if reporter is not None:
-                    reporter.point_retried(_describe_point(point), first_error)
+            outcome = None
+            first_error = ""
+            errors = ""
+            for attempt in range(1, allowed + 1):
                 try:
-                    metrics, seconds, worker, rss = _timed_execute_point(point)
+                    (
+                        metrics, seconds, worker, rss, resumed, saved,
+                    ) = _timed_execute_point(point)
                     outcome = PointOutcome(
                         metrics, seconds, worker, rss,
-                        attempts=2, error=first_error,
+                        attempts=attempt, error=first_error,
                         completed_ts=time.time(),
+                        resumed_from=resumed, checkpoints_saved=saved,
                     )
-                except Exception as retry_exc:
-                    outcome = PointOutcome(
-                        None,
-                        worker=os.getpid(),
-                        attempts=2,
-                        error=f"{first_error}; retry: {retry_exc!r}",
-                        completed_ts=time.time(),
-                    )
+                    break
+                except Exception as exc:  # crash containment: retry
+                    if not errors:
+                        first_error = repr(exc)
+                        errors = first_error
+                    else:
+                        errors = f"{errors}; retry: {exc!r}"
+                    if attempt < allowed and reporter is not None:
+                        reporter.point_retried(
+                            _describe_point(point), repr(exc)
+                        )
+            if outcome is None:
+                outcome = PointOutcome(
+                    None,
+                    worker=os.getpid(),
+                    attempts=allowed,
+                    error=errors,
+                    completed_ts=time.time(),
+                )
             if reporter is not None and outcome.metrics is not None:
                 reporter.point_done(_describe_point(point), outcome.seconds)
             if outcome.metrics is not None:
@@ -546,8 +765,8 @@ class SweepRunner:
 
         A worker death poisons its pool (every pending future resolves
         with ``BrokenProcessPool``), so each round runs in a fresh pool
-        and re-submits only the points that failed and still have their
-        one retry left.
+        and re-submits only the points that failed and still have
+        retry budget (``max_retries``) left.
         """
         from repro.obs.health import StragglerDetector
 
@@ -598,7 +817,9 @@ class SweepRunner:
                             )
                             self.health.beat(0, time.time(), failed=True)
                             continue
-                        metrics, seconds, worker, rss = future.result()
+                        (
+                            metrics, seconds, worker, rss, resumed, saved,
+                        ) = future.result()
                         detector.record(seconds)
                         self.health.beat(worker, time.time(), seconds, rss)
                         outcomes[index] = PointOutcome(
@@ -609,6 +830,8 @@ class SweepRunner:
                             attempts=attempts[index],
                             error=first_error[index],
                             completed_ts=time.time(),
+                            resumed_from=resumed,
+                            checkpoints_saved=saved,
                         )
                         if reporter is not None:
                             reporter.point_done(
@@ -629,9 +852,12 @@ class SweepRunner:
                                 detector.median or 0.0,
                             )
 
-            retry = [index for index in round_failed if attempts[index] < 2]
+            allowed = 1 + self.max_retries
+            retry = [
+                index for index in round_failed if attempts[index] < allowed
+            ]
             for index in round_failed:
-                if attempts[index] >= 2 and index not in retry:
+                if attempts[index] >= allowed and index not in retry:
                     outcomes[index] = PointOutcome(
                         None, attempts=attempts[index],
                         error=first_error[index],

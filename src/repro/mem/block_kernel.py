@@ -154,7 +154,7 @@ def run_block_loop(sim, cores) -> None:
     last_act: List[float] = []
     ready: List[float] = []
     for timing in timing_objs:
-        orow, act_ns, ready_at = timing.export_state()
+        orow, act_ns, ready_at = timing.snapshot_state()
         open_row.append(orow)
         last_act.append(act_ns)
         ready.append(ready_at)
@@ -486,7 +486,9 @@ def run_block_loop(sim, cores) -> None:
     # ---- write everything back to the live objects ----
     for fb in range(n_banks):
         if amode[fb]:
-            timing_objs[fb].adopt_state(open_row[fb], last_act[fb], ready[fb])
+            timing_objs[fb].restore_state(
+                (open_row[fb], last_act[fb], ready[fb])
+            )
             bank_objs[fb].total_activations = total_acts[fb]
     for ch, channel in enumerate(channels):
         channel.bus_free_ns = bus_free[ch]

@@ -101,3 +101,27 @@ class LastLevelCache:
     def resident_lines(self) -> int:
         """Lines currently cached (for occupancy assertions in tests)."""
         return sum(len(s) for s in self._sets)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): tags and LRU ticks are plain ints, so
+    # each set serializes as a dict of int -> (tick, dirty) pairs.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self._tick,
+            (self.stats.hits, self.stats.misses, self.stats.writebacks),
+            tuple(dict(cache_set) for cache_set in self._sets),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        tick, stats, sets = state
+        if len(sets) != len(self._sets):
+            raise ValueError(
+                f"snapshot has {len(sets)} cache sets, geometry expects "
+                f"{len(self._sets)}"
+            )
+        self._tick = tick
+        (self.stats.hits, self.stats.misses, self.stats.writebacks) = stats
+        for cache_set, saved in zip(self._sets, sets):
+            cache_set.clear()
+            cache_set.update(saved)

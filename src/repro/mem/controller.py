@@ -568,6 +568,49 @@ class MemoryController:
         """Writes currently buffered in the write queue."""
         return len(self._write_queue)
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the controller's own mutable state is
+    # its stats block — channel/bank timing belongs to the device layer
+    # and batch buffers are flushed by Mitigation.prepare_for_snapshot
+    # before any snapshot is taken. Buffered writes alias pooled request
+    # objects and pending DRAM work, so a cut must land on an empty
+    # write queue.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        if self._write_queue:
+            from repro.state.protocol import NotSnapshotable
+
+            raise NotSnapshotable(
+                f"channel {self.channel.index} has "
+                f"{len(self._write_queue)} buffered writes pending"
+            )
+        stats = self.stats
+        return (
+            stats.reads,
+            stats.writes,
+            stats.activations,
+            stats.row_buffer_hits,
+            stats.victim_refreshes,
+            stats.swaps,
+            stats.swap_blocked_ns,
+            stats.throttle_delay_ns,
+            stats.total_latency_ns,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        stats = self.stats
+        (
+            stats.reads,
+            stats.writes,
+            stats.activations,
+            stats.row_buffer_hits,
+            stats.victim_refreshes,
+            stats.swaps,
+            stats.swap_blocked_ns,
+            stats.throttle_delay_ns,
+            stats.total_latency_ns,
+        ) = state
+
     def _apply(self, action: MitigationOutcome, bank, now_ns: float) -> None:
         """Carry out the mitigating actions a defense requested."""
         for victim_row in action.refresh_rows:

@@ -270,6 +270,73 @@ class Core:
         return self.instructions_retired / self.cycles
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state). Chunked cores only: the scalar front
+    # end wraps arbitrary iterators, which have no capturable position.
+    # The decoded block columns are snapshotted outright (re-deriving
+    # them would need the source rewound one block), and the pooled
+    # request/decoded pair is *not* — every field is overwritten before
+    # anything reads it. The cached ``_pending_issue_ns`` must travel:
+    # computing it popped satisfied ROB entries, so a restored core
+    # that recomputed it would see a different ``_outstanding`` prefix.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        if not self._chunked:
+            from repro.state.protocol import NotSnapshotable
+
+            raise NotSnapshotable(
+                "core is driven by a scalar trace iterator; only columnar "
+                "(TraceChunks) sources support checkpointing"
+            )
+        source_snapshot = getattr(self._source, "snapshot_state", None)
+        if source_snapshot is None:
+            from repro.state.protocol import NotSnapshotable
+
+            raise NotSnapshotable(
+                f"trace source {type(self._source).__name__} is not Snapshotable"
+            )
+        return (
+            self.time_ns,
+            self.instructions_retired,
+            self._inst_issued,
+            list(self._outstanding),
+            self._has_pending,
+            self._pending_gap,
+            self._pending_issue_ns,
+            self._exhausted,
+            self._idx,
+            self._len,
+            [list(self._gaps), list(self._addrs), list(self._writes),
+             list(self._chans), list(self._ranks), list(self._banks),
+             list(self._rows), list(self._cols), list(self._flats)],
+            None if self._gap_block is None else self._gap_block.copy(),
+            source_snapshot(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            self.time_ns,
+            self.instructions_retired,
+            self._inst_issued,
+            outstanding,
+            self._has_pending,
+            self._pending_gap,
+            self._pending_issue_ns,
+            self._exhausted,
+            self._idx,
+            self._len,
+            columns,
+            gap_block,
+            source_state,
+        ) = state
+        self._outstanding = deque(
+            (index, completion) for index, completion in outstanding
+        )
+        (self._gaps, self._addrs, self._writes, self._chans, self._ranks,
+         self._banks, self._rows, self._cols, self._flats) = columns
+        self._gap_block = gap_block
+        self._source.restore_state(source_state)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _fetch(self) -> None:

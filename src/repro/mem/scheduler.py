@@ -15,6 +15,17 @@ from typing import Deque, Dict, Optional
 from repro.mem.request import MemoryRequest
 
 
+def _require_drained(scheduler) -> None:
+    """Raise NotSnapshotable unless the scheduler's backlog is empty."""
+    if len(scheduler):
+        from repro.state.protocol import NotSnapshotable
+
+        raise NotSnapshotable(
+            f"{scheduler.name} scheduler holds {len(scheduler)} pending "
+            "requests; drain the backlog before cutting"
+        )
+
+
 def _trace_queue(tracer, name: str, request: MemoryRequest, depth: int) -> None:
     """Emit one ``exec`` queue event (repro.obs); no-op without tracer."""
     if tracer is None or not tracer.wants("exec"):
@@ -89,6 +100,20 @@ class FCFSScheduler:
             _trace_queue(self.tracer, "dequeue", request, len(self._queue))
         return request
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): pending requests alias live objects
+    # (pooled buffers, decoded views), so a cut must land on a drained
+    # backlog — the only persistent state is then "empty".
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        _require_drained(self)
+        return ()
+
+    def restore_state(self, state: tuple) -> None:
+        _require_drained(self)
+        if state != ():
+            raise ValueError(f"unexpected {self.name} scheduler state")
+
 
 class FRFCFSScheduler:
     """First-Ready FCFS: row-buffer hits first, then the oldest request.
@@ -132,3 +157,15 @@ class FRFCFSScheduler:
         if self.tracer is not None:
             _trace_queue(self.tracer, "dequeue", picked, len(self._queue))
         return picked
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): same drained-backlog contract as FCFS.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        _require_drained(self)
+        return ()
+
+    def restore_state(self, state: tuple) -> None:
+        _require_drained(self)
+        if state != ():
+            raise ValueError(f"unexpected {self.name} scheduler state")

@@ -95,11 +95,19 @@ class SystemSimulator:
         self,
         traces: Sequence[Iterator[TraceRecord]],
         workload: str = "",
+        checkpoints=None,
     ) -> SimMetrics:
         """Replay one (finite) trace per core; returns run metrics.
 
         Traces must be finite iterators (use ``generator.records(n)``);
         the run ends when every trace is exhausted and drained.
+
+        ``checkpoints`` is an optional
+        :class:`~repro.state.checkpoint.CheckpointSession`: the run then
+        takes the scalar loop (cut points need per-request granularity;
+        scalar and block loops are bit-identical, so results do not
+        change), restores the session's resume checkpoint before the
+        first request, and cuts wherever the session asks.
         """
         if len(traces) != self.config.cores:
             raise ValueError(
@@ -119,13 +127,183 @@ class SystemSimulator:
             )
             for core_id, trace in enumerate(traces)
         ]
-        if self._block_loop_eligible(cores):
+        if checkpoints is not None:
+            self._run_checkpointed(cores, checkpoints)
+        elif self._block_loop_eligible(cores):
             run_block_loop(self, cores)
         else:
             self._run_scalar(cores)
         for core in cores:
             core.drain()
         return self._collect(cores, workload)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (repro.state)
+    # ------------------------------------------------------------------
+    def checkpoint_payload(self, cores: List[Core]) -> tuple:
+        """Pure-data snapshot of every layer of this simulator + cores.
+
+        Flushes the mitigation's batch buffers first
+        (:meth:`~repro.mitigations.base.Mitigation.prepare_for_snapshot`)
+        so no activation is parked in a credit buffer when state is
+        captured — flushed and buffered runs are bit-identical by the
+        batching contract, so this changes no result.
+        """
+        self.mitigation.prepare_for_snapshot()
+        return (
+            [core.snapshot_state() for core in cores],
+            [channel.snapshot_state() for channel in self.channels],
+            [controller.snapshot_state() for controller in self.controllers],
+            self.refresh.snapshot_state(),
+            self.mitigation.snapshot_state(),
+            None
+            if self.sanitizer is None
+            else self.sanitizer.snapshot_state(),
+        )
+
+    def restore_payload(self, cores: List[Core], payload: tuple) -> None:
+        """Inverse of :meth:`checkpoint_payload` on a fresh simulator."""
+        (
+            core_states,
+            channel_states,
+            controller_states,
+            refresh_state,
+            mitigation_state,
+            sanitizer_state,
+        ) = payload
+        if len(core_states) != len(cores):
+            raise ValueError(
+                f"checkpoint carries {len(core_states)} cores, this run "
+                f"has {len(cores)}"
+            )
+        if len(channel_states) != len(self.channels):
+            raise ValueError("channel count mismatch in checkpoint")
+        for core, state in zip(cores, core_states):
+            core.restore_state(state)
+        for channel, state in zip(self.channels, channel_states):
+            channel.restore_state(state)
+        for controller, state in zip(self.controllers, controller_states):
+            controller.restore_state(state)
+        self.refresh.restore_state(refresh_state)
+        self.mitigation.restore_state(mitigation_state)
+        if sanitizer_state is not None:
+            if self.sanitizer is None:
+                raise ValueError(
+                    "checkpoint was taken under REPRO_SANITIZE=1 but this "
+                    "run has no sanitizer installed"
+                )
+            self.sanitizer.restore_state(sanitizer_state)
+        elif self.sanitizer is not None:
+            raise ValueError(
+                "this run has REPRO_SANITIZE=1 but the checkpoint was "
+                "taken without it"
+            )
+
+    def checkpoint(
+        self,
+        cores: List[Core],
+        serviced: int,
+        fingerprint: str = "",
+        meta=None,
+    ):
+        """One :class:`~repro.state.checkpoint.SimCheckpoint` of this
+        simulator mid-run (``cores`` are the run's Core objects)."""
+        from repro.state.checkpoint import SimCheckpoint
+
+        return SimCheckpoint(
+            fingerprint=fingerprint,
+            serviced=serviced,
+            payload=self.checkpoint_payload(cores),
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint,
+        traces: Sequence[Iterator[TraceRecord]],
+        config: Optional[SystemConfig] = None,
+        mitigation: Optional[Mitigation] = None,
+        workload: str = "",
+        checkpoints=None,
+    ) -> SimMetrics:
+        """Build a fresh simulator, restore ``checkpoint``, finish the run.
+
+        ``traces`` and ``config``/``mitigation`` must describe the same
+        run the checkpoint was cut from (the caller vouches via the
+        fingerprint); the returned :class:`SimMetrics` is bit-identical
+        to the uninterrupted run's. ``checkpoints`` optionally supplies
+        a pre-built session (for extra cuts while finishing); its
+        ``resume`` is set to ``checkpoint``.
+        """
+        from repro.state.checkpoint import CheckpointSession
+
+        simulator = cls(config=config, mitigation=mitigation)
+        if checkpoints is None:
+            checkpoints = CheckpointSession(
+                fingerprint=checkpoint.fingerprint, resume=checkpoint
+            )
+        else:
+            checkpoints.resume = checkpoint
+            checkpoints.resumed_from = checkpoint.serviced
+        return simulator.run(traces, workload=workload, checkpoints=checkpoints)
+
+    def _run_checkpointed(self, cores: List[Core], session) -> None:
+        """Scalar loop with serviced-request counting and cut points.
+
+        Mirrors ``_run_scalar`` exactly — the only additions are the
+        serviced counter, the resume restore before the first request,
+        and the cut-point checks. A cut lands *between* requests: after
+        ``core.complete`` and before the next heap push, which is also
+        where the resume path re-enters (the heap is rebuilt from each
+        core's ``next_issue_time``; ``(issue_at, core_id)`` is a strict
+        total order, so pop order is independent of heap layout).
+        """
+        serviced = 0
+        resume = session.resume
+        if resume is not None:
+            self.restore_payload(cores, resume.payload)
+            serviced = resume.serviced
+        elif session.wants(0):
+            session.save(0, self.checkpoint_payload(cores))
+
+        infinity = float("inf")
+        heap = []
+        for core in cores:
+            issue_at = core.next_issue_time()
+            if issue_at < infinity:
+                heap.append((issue_at, core.core_id))
+        heapq.heapify(heap)
+
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        refresh = self.refresh
+        advance_refresh = refresh.advance_to
+        refresh_due = refresh.next_due_ns
+        decode = self.mapper.decode
+        controllers = self.controllers
+        resumed_from = session.resumed_from
+
+        while heap:
+            _, core_id = heappop(heap)
+            core = cores[core_id]
+            request = core.issue()
+            arrival = request.arrival_ns
+            if arrival >= refresh_due:
+                advance_refresh(arrival)
+                refresh_due = refresh.next_due_ns
+            decoded = request.decoded
+            if decoded is None:  # scalar front end: decode here
+                decoded = decode(request.address)
+                request.decoded = decoded
+            controllers[decoded.channel].service(request)
+            core.complete(request)
+            serviced += 1
+            if serviced != resumed_from and session.wants(serviced):
+                session.save(serviced, self.checkpoint_payload(cores))
+            issue_at = core.next_issue_time()
+            if issue_at < infinity:
+                heappush(heap, (issue_at, core_id))
 
     def _block_loop_eligible(self, cores: List[Core]) -> bool:
         """Whether this run can take the fused block kernel.

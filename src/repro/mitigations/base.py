@@ -186,3 +186,29 @@ class Mitigation:
         ``None`` entries meaning identity. Returning None (the default)
         makes the controller call :meth:`route` per access instead."""
         return None
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state). The base class carries no mutable
+    # simulation state, so its snapshot is empty; stateful defenses
+    # override both methods. Restores happen onto a freshly constructed
+    # mitigation whose batch state (if any) was already primed by the
+    # controller, so overrides must re-prime credits/views from the
+    # restored trackers before returning.
+    # ------------------------------------------------------------------
+    def prepare_for_snapshot(self) -> None:
+        """Bring deferred work to a snapshot-clean point.
+
+        Called by the simulator immediately before ``snapshot_state``.
+        Batched defenses flush their deferral buffers here (the replays
+        are guaranteed-noop, so results are unchanged); the default is
+        a no-op.
+        """
+
+    def snapshot_state(self) -> Tuple:
+        return ()
+
+    def restore_state(self, state: Tuple) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} has no state to restore, got {state!r}"
+            )

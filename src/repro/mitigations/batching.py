@@ -134,6 +134,15 @@ class BankBatchedMitigation(Mitigation):
                     rows.clear()
                     times[i].clear()
 
+    def prepare_for_snapshot(self) -> None:
+        """Flush every deferral buffer and re-prime credits so the
+        snapshot sees only tracker state. The replays are noop by the
+        credit contract; resetting the opt-out tally only changes which
+        execution path later activations take (batched vs scalar
+        oracle), never their results."""
+        self._flush_batch_buffers()
+        self._reset_batch_credits()
+
     def _reset_batch_credits(self) -> None:
         """Re-prime every bank's credit — call after window resets."""
         states = getattr(self, "_batch_states", None)

@@ -119,6 +119,43 @@ class BlockHammer(Mitigation):
         return 2 * self.config.counters * counter_bits
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state): both filters per bank (each snapshot
+    # carries its own hash keys, so active/shadow role rotation across
+    # window ends survives the round trip) plus the pacing timestamps.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.blacklisted_delays,
+            self._half,
+            {
+                key: (active.snapshot_state(), shadow.snapshot_state())
+                for key, (active, shadow) in self._filters.items()
+            },
+            dict(self._last_act_ns),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        blacklisted_delays, half, filters, last_act = state
+        self.blacklisted_delays = blacklisted_delays
+        self._half = half
+        self._filters = {}
+        for key, (active_state, shadow_state) in filters.items():
+            active, shadow = (
+                CountingBloomFilter(
+                    self.config.counters, self.config.hashes, seed=self.config.seed
+                ),
+                CountingBloomFilter(
+                    self.config.counters,
+                    self.config.hashes,
+                    seed=self.config.seed + 1,
+                ),
+            )
+            active.restore_state(active_state)
+            shadow.restore_state(shadow_state)
+            self._filters[key] = (active, shadow)
+        self._last_act_ns = dict(last_act)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _bank_filters(

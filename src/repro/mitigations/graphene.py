@@ -98,6 +98,30 @@ class Graphene(BankBatchedMitigation):
     def _batch_credit(self, bank_key):
         return self._tracker(bank_key).noop_horizon(self.threshold), NO_DEADLINE
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.refreshes_issued,
+            {
+                key: tracker.snapshot_state()
+                for key, tracker in self._trackers.items()
+            },
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        refreshes_issued, trackers = state
+        self.refreshes_issued = refreshes_issued
+        self._trackers = {}
+        for key, tracker_state in trackers.items():
+            tracker = ArrayMisraGries.sized_for(
+                self.window_activations, self.threshold
+            )
+            tracker.restore_state(tracker_state)
+            self._trackers[key] = tracker
+        self._reset_batch_credits()
+
     def storage_bits_per_bank(self, rows_per_bank: int) -> int:
         """Tracker entries x (row id + counter + valid)."""
         entries = max(1, self.window_activations // self.threshold)

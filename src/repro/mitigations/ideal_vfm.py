@@ -68,3 +68,22 @@ class IdealVictimRefresh(Mitigation):
     def on_window_end(self, window_index: int) -> None:
         """Counts are per refresh window."""
         self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.refreshes_issued,
+            {key: list(counts.items()) for key, counts in self._counts.items()},
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        refreshes_issued, counts = state
+        self.refreshes_issued = refreshes_issued
+        self._counts = {}
+        for key, pairs in counts.items():
+            bank = Counter()
+            for row, hits in pairs:
+                bank[row] = hits
+            self._counts[key] = bank

@@ -115,6 +115,32 @@ class PARA(Mitigation):
         self.refreshes_issued += len(victims)
         return MitigationOutcome(refresh_rows=victims)
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the PCG64 stream position, the
+    # precomputed draw block, and — under batching — how much of the
+    # shared credit countdown is left (draws consumed since the last
+    # refill are deferred, so the cell is not derivable from ``_hit``).
+    # The cell is restored *in place*: every channel's batch state
+    # aliases the same list.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self._rng.snapshot_state(),
+            self.refreshes_issued,
+            self._draws.copy(),
+            self._hit,
+            None if self._credit_cell is None else self._credit_cell[0],
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        rng_state, refreshes_issued, draws, hit, credit = state
+        self._rng.restore_state(rng_state)
+        self.refreshes_issued = refreshes_issued
+        self._draws = draws.copy()
+        self._hit = hit
+        if self._credit_cell is not None and credit is not None:
+            self._credit_cell[0] = credit
+
     def _next_gap(self) -> int:
         """Draws until (excluding) the next success, extending the
         precomputed block as needed."""

@@ -99,3 +99,26 @@ class TargetedRowRefresh(BankBatchedMitigation):
             INFINITE_CREDIT,
             self._next_trr_ns.get(bank_key, float(self.t_refi_ns)),
         )
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): samples are captured as ordered pairs
+    # because Counter insertion order is the ``most_common`` tie-break.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.refreshes_issued,
+            {key: list(sample.items()) for key, sample in self._samples.items()},
+            dict(self._next_trr_ns),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        refreshes_issued, samples, next_trr = state
+        self.refreshes_issued = refreshes_issued
+        self._samples = {}
+        for key, pairs in samples.items():
+            sample = Counter()
+            for row, hits in pairs:
+                sample[row] = hits
+            self._samples[key] = sample
+        self._next_trr_ns = dict(next_trr)
+        self._reset_batch_credits()

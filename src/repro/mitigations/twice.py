@@ -70,6 +70,26 @@ class TWiCe(Mitigation):
         self._counts.clear()
         self._interval = 0
 
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.refreshes_issued,
+            self.pruned,
+            {key: dict(counts) for key, counts in self._counts.items()},
+            self._next_prune_ns,
+            self._interval,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        refreshes_issued, pruned, counts, next_prune_ns, interval = state
+        self.refreshes_issued = refreshes_issued
+        self.pruned = pruned
+        self._counts = {key: dict(bank) for key, bank in counts.items()}
+        self._next_prune_ns = next_prune_ns
+        self._interval = interval
+
     def _maybe_prune(self, now_ns: float) -> None:
         """Drop rows too slow to ever reach the threshold this window."""
         while self._next_prune_ns <= now_ns:

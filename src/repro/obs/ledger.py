@@ -43,7 +43,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.exec.cache import default_cache_dir
 from repro.mem.metrics import SimMetrics
 
-LEDGER_SCHEMA_VERSION = 1
+LEDGER_SCHEMA_VERSION = 2
 
 _ENV_LEDGER = "REPRO_LEDGER"
 
@@ -94,7 +94,7 @@ def summarize_metrics(metrics: SimMetrics) -> Dict[str, Any]:
 
 @dataclass
 class LedgerEntry:
-    """One sweep point's ledger row (schema v1).
+    """One sweep point's ledger row (schema v2).
 
     ``ts`` is host wall-clock seconds (telemetry only — nothing in the
     simulation reads it). ``worker`` is the executing process id (the
@@ -102,6 +102,12 @@ class LedgerEntry:
     worker's ``ru_maxrss`` after the point ran, 0 when unknown.
     ``summary`` is :func:`summarize_metrics` output for successful
     points, empty for failures.
+
+    Schema v2 adds crash-containment and checkpoint telemetry:
+    ``max_retries`` (the retry budget the sweep ran under),
+    ``resumed_from`` (serviced requests skipped by resuming from a
+    persisted checkpoint; 0 = from scratch), and ``checkpoints`` (cuts
+    this execution persisted). v1 rows load with the field defaults.
     """
 
     run_id: str = ""
@@ -121,6 +127,9 @@ class LedgerEntry:
     straggler: bool = False
     error: str = ""
     summary: Dict[str, Any] = field(default_factory=dict)
+    max_retries: int = 0
+    resumed_from: int = 0
+    checkpoints: int = 0
     schema_version: int = LEDGER_SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:

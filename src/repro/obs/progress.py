@@ -34,6 +34,7 @@ class SweepProgress:
         jobs: int = 1,
         label: str = "",
         stream: Optional[TextIO] = None,
+        max_retries: int = 1,
     ) -> None:
         self.total = total
         self.jobs = max(1, jobs)
@@ -44,6 +45,9 @@ class SweepProgress:
         self.simulated = 0
         self.retried = 0
         self.stragglers = 0
+        # Retry budget per point (telemetry: shown on retry heartbeats
+        # so a log reader knows how many attempts remain possible).
+        self.max_retries = max(0, max_retries)
         self._sim_seconds = 0.0
         # worker pid -> (points completed, worker-measured seconds)
         self.per_worker: Dict[int, list] = {}
@@ -105,7 +109,10 @@ class SweepProgress:
         """
         self.retried += 1
         detail = f": {error}" if error else ""
-        self._emit(f"retrying {description} after worker failure{detail}")
+        self._emit(
+            f"retrying {description} (budget {self.max_retries}) "
+            f"after worker failure{detail}"
+        )
 
     def straggler(self, description: str, elapsed: float, median: float) -> None:
         """Live callout: a point has outlived the straggler horizon."""

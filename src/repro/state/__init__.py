@@ -1,0 +1,45 @@
+"""repro.state: versioned, deterministic checkpoint/restore.
+
+The subsystem has three layers:
+
+* :mod:`repro.state.protocol` — the :class:`Snapshotable` protocol every
+  stateful simulation class implements (``snapshot_state() -> tuple`` /
+  ``restore_state(state)``), plus the payload schema version.
+* :mod:`repro.state.serial` — the pure-data codec that turns snapshot
+  payloads (tuples, dicts, numpy arrays, ±inf) into strict JSON and
+  back, bit-exactly.
+* :mod:`repro.state.checkpoint` — the :class:`SimCheckpoint` container,
+  the content-addressed on-disk :class:`CheckpointStore`, and the
+  :class:`CheckpointSession` handed to
+  :meth:`~repro.mem.system.SystemSimulator.run` to cut, persist, and
+  resume runs.
+"""
+
+from repro.state.checkpoint import (
+    CheckpointSession,
+    CheckpointStore,
+    SimCheckpoint,
+    checkpoint_enabled_by_env,
+    default_checkpoint_dir,
+)
+from repro.state.protocol import (
+    STATE_SCHEMA_VERSION,
+    NotSnapshotable,
+    Snapshotable,
+    is_snapshotable,
+)
+from repro.state.serial import decode_state, encode_state
+
+__all__ = [
+    "STATE_SCHEMA_VERSION",
+    "CheckpointSession",
+    "CheckpointStore",
+    "NotSnapshotable",
+    "SimCheckpoint",
+    "Snapshotable",
+    "checkpoint_enabled_by_env",
+    "decode_state",
+    "default_checkpoint_dir",
+    "encode_state",
+    "is_snapshotable",
+]

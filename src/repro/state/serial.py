@@ -1,0 +1,95 @@
+"""Bit-exact JSON codec for snapshot payloads.
+
+Snapshot payloads are pure data (protocol contract), but JSON alone
+cannot carry them faithfully: tuples collapse to lists, dict keys
+collapse to strings, ``±inf`` is not valid strict JSON, and float64
+arrays must survive without a decimal round trip. Each lossy shape gets
+a sentinel object:
+
+* tuple               -> ``{"__t__": [...]}``
+* dict                -> ``{"__d__": [[key, value], ...]}`` — *every*
+  dict, so non-string keys and insertion order (which drives RIT
+  eviction and ``Counter.most_common`` tie-breaks) survive exactly.
+* numpy array         -> ``{"__nd__": dtype, "shape": [...], "b64":
+  base64(tobytes)}`` — byte-exact, no text round trip.
+* non-finite float    -> ``{"__f__": "inf" | "-inf" | "nan"}``
+
+Finite floats ride as native JSON numbers: Python serializes them with
+``repr``, the shortest string that round-trips to the same IEEE double.
+Sets and deques are rejected — the owning class must convert them to
+ordered plain data in ``snapshot_state`` (see
+:mod:`repro.state.protocol`).
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+from typing import Any
+
+import numpy as np
+
+
+def encode_state(value: Any) -> Any:
+    """Encode one snapshot payload into strict-JSON-safe data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        if isinstance(value, (np.integer, np.bool_)):
+            return value.item()
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {"__f__": "nan"}
+        return {"__f__": "inf" if value > 0 else "-inf"}
+    if isinstance(value, (np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.floating):
+        return encode_state(float(value))
+    if isinstance(value, tuple):
+        return {"__t__": [encode_state(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_state(item) for item in value]
+    if type(value) is dict:
+        # Strict type check: dict *subclasses* (Counter, defaultdict,
+        # OrderedDict) would silently decay to plain dicts on decode —
+        # the owning class must convert them to ordered plain data.
+        return {
+            "__d__": [
+                [encode_state(k), encode_state(v)] for k, v in value.items()
+            ]
+        }
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return {
+            "__nd__": contiguous.dtype.str,
+            "shape": list(contiguous.shape),
+            "b64": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+        }
+    raise TypeError(
+        f"snapshot payloads must be pure data; {type(value).__name__} "
+        "must be converted by the owning class's snapshot_state()"
+    )
+
+
+def decode_state(value: Any) -> Any:
+    """Exact inverse of :func:`encode_state`."""
+    if isinstance(value, list):
+        return [decode_state(item) for item in value]
+    if isinstance(value, dict):
+        if "__t__" in value:
+            return tuple(decode_state(item) for item in value["__t__"])
+        if "__d__" in value:
+            return {
+                decode_state(k): decode_state(v) for k, v in value["__d__"]
+            }
+        if "__nd__" in value:
+            raw = base64.b64decode(value["b64"])
+            array = np.frombuffer(raw, dtype=np.dtype(value["__nd__"]))
+            return array.reshape(value["shape"]).copy()
+        if "__f__" in value:
+            return {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}[
+                value["__f__"]
+            ]
+        raise ValueError(f"unknown state sentinel in {sorted(value)!r}")
+    return value

@@ -263,6 +263,38 @@ class ArrayMisraGries:
         self._residue_max = max_residue
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state): slots, the spill counter, and whether
+    # the lazy bucket structure has materialized. Buckets and the
+    # residue histogram are derived views — rebuilt on restore so a
+    # restored tracker makes the same lazy/eager transitions at the
+    # same points an uninterrupted one would.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self.spill,
+            list(self._rows),
+            list(self._counts),
+            self._buckets is not None,
+            self._residue_t,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        spill, rows, counts, buckets_built, residue_t = state
+        self.spill = spill
+        self._rows = list(rows)
+        self._counts = list(counts)
+        self._slot_of = {row: slot for slot, row in enumerate(self._rows)}
+        self._buckets = None
+        self._min_count = 0
+        if buckets_built:
+            self._build_buckets()
+        self._residue_t = 0
+        self._residue_hist = None
+        self._residue_max = 0
+        if residue_t:
+            self._build_residue_hist(residue_t)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _build_buckets(self) -> None:

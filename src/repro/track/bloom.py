@@ -66,3 +66,19 @@ class CountingBloomFilter:
     def total(self) -> int:
         """Sum of all counters (hashes x observations)."""
         return int(self._table.sum())
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the counter table plus the hash keys.
+    # Keys travel with the snapshot because BlockHammer rotates filter
+    # *roles* (active/shadow) at window ends, so the filter occupying a
+    # slot at a cut may have been built with either seed. The memoized
+    # ``_bulk_indices`` derive from the keys and are dropped on restore.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (list(self._keys), self._table.copy())
+
+    def restore_state(self, state: tuple) -> None:
+        keys, table = state
+        self._keys = list(keys)
+        self._table[:] = table
+        self._bulk_indices.clear()

@@ -158,6 +158,28 @@ class CollisionAvoidanceTable:
         return [len(stored) for table in self._sets for stored in table]
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state): per-set dicts captured in insertion
+    # order, which drives the Cuckoo relocation scan (`list(stored)`)
+    # and therefore must survive a restore exactly. Values must be pure
+    # data (the RIT and tracker store ints).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            [[dict(stored) for stored in table] for table in self._sets],
+            self._size,
+            self.relocations,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        tables, size, relocations = state
+        for table, stored_tables in zip(self._sets, tables):
+            for index, stored in enumerate(stored_tables):
+                table[index].clear()
+                table[index].update(stored)
+        self._size = size
+        self.relocations = relocations
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _relocate_one(self, full_sets: List[Dict[int, Any]]) -> bool:

@@ -114,6 +114,27 @@ class CATMisraGriesTracker:
         return horizon if horizon > 0 else 0
 
     # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the CAT carries the entries; the
+    # SetMin registers are derived from set contents and rebuilt on
+    # restore (hardware recomputes them the same way).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (self.spill, self.cat.snapshot_state())
+
+    def restore_state(self, state: tuple) -> None:
+        spill, cat_state = state
+        self.spill = spill
+        self.cat.restore_state(cat_state)
+        config = self.cat.config
+        self._set_min = [
+            [
+                min(stored.values()) if stored else None
+                for stored in self.cat._sets[table]
+            ]
+            for table in range(config.tables)
+        ]
+
+    # ------------------------------------------------------------------
     # SetMin machinery
     # ------------------------------------------------------------------
     def _recompute_set_min_for(self, row: int) -> None:

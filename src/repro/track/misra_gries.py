@@ -27,7 +27,14 @@ from typing import Dict, Set
 
 # repro-oracle: tracker-misra-gries -- oracle
 class MisraGriesTracker:
-    """One bank's hot-row tracker."""
+    """One bank's hot-row tracker.
+
+    Buckets are insertion-ordered dicts used as sets, so the eviction
+    tie-break (`next(iter(bucket))` = oldest member) is a deterministic
+    function of the observation history — which also makes the tracker
+    exactly checkpointable (repro.state): a restored instance evicts
+    the same victims the uninterrupted one would.
+    """
 
     def __init__(self, entries: int) -> None:
         if entries <= 0:
@@ -35,7 +42,7 @@ class MisraGriesTracker:
         self.entries = entries
         self.spill = 0
         self._counts: Dict[int, int] = {}
-        self._buckets: Dict[int, Set[int]] = {}
+        self._buckets: Dict[int, Dict[int, None]] = {}
         self._min_count = 0
 
     @classmethod
@@ -128,14 +135,14 @@ class MisraGriesTracker:
     # ------------------------------------------------------------------
     def _insert(self, row: int, count: int) -> None:
         self._counts[row] = count
-        self._buckets.setdefault(count, set()).add(row)
+        self._buckets.setdefault(count, {})[row] = None
         if len(self._counts) == 1 or count < self._min_count:
             self._min_count = count
 
     def _remove(self, row: int, count: int) -> None:
         del self._counts[row]
         bucket = self._buckets[count]
-        bucket.discard(row)
+        bucket.pop(row, None)
         if not bucket:
             del self._buckets[count]
             if count == self._min_count:
@@ -143,13 +150,34 @@ class MisraGriesTracker:
 
     def _move(self, row: int, old: int, new: int) -> None:
         bucket = self._buckets[old]
-        bucket.discard(row)
+        bucket.pop(row, None)
         if not bucket:
             del self._buckets[old]
         self._counts[row] = new
-        self._buckets.setdefault(new, set()).add(row)
+        self._buckets.setdefault(new, {})[row] = None
         if old == self._min_count and old not in self._buckets:
             self._refresh_min()
 
     def _refresh_min(self) -> None:
         self._min_count = min(self._buckets) if self._buckets else 0
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Counters, buckets (in insertion order), spill, and minimum."""
+        return (
+            self.spill,
+            dict(self._counts),
+            {count: list(bucket) for count, bucket in self._buckets.items()},
+            self._min_count,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        spill, counts, buckets, min_count = state
+        self.spill = spill
+        self._counts = dict(counts)
+        self._buckets = {
+            count: dict.fromkeys(rows) for count, rows in buckets.items()
+        }
+        self._min_count = min_count

@@ -63,3 +63,16 @@ class DeterministicRng:
     def shuffle(self, seq: list) -> None:
         """In-place Fisher-Yates shuffle."""
         self._gen.shuffle(seq)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): the PCG64 bit-generator state is a
+    # pure-python dict of (large) ints, captured and reapplied exactly.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Exact PCG64 stream position (pure-data)."""
+        return (self._gen.bit_generator.state,)
+
+    def restore_state(self, state: tuple) -> None:
+        """Reposition the stream captured by :meth:`snapshot_state`."""
+        (bit_state,) = state
+        self._gen.bit_generator.state = bit_state

@@ -71,6 +71,55 @@ BURST_HOT_PROBABILITY = 0.9
 BURST_LENGTH = 64
 
 
+class GeneratorChunks(TraceChunks):
+    """A snapshotable columnar trace source backed by a generator.
+
+    Serves the same block sequence as ``TraceChunks(gen.blocks(count))``
+    — the position cursor advances by :data:`TRACE_BLOCK_RECORDS` per
+    block with the final block truncated — but pulls each block lazily
+    from the generator, so a checkpoint can capture "where the stream
+    is" as (position, generator RNG/cursor state) and a restored source
+    resumes on the exact next block.
+    """
+
+    __slots__ = ("_generator", "_count", "_position")
+
+    def __init__(self, generator: "SyntheticTraceGenerator", count: int) -> None:
+        if count < 0:
+            raise ValueError("record count must be non-negative")
+        self._generator = generator
+        self._count = count
+        self._position = 0
+
+    def next_block(self):
+        served = min(self._count, self._position)
+        remaining = self._count - served
+        if remaining <= 0:
+            return None
+        take = min(remaining, TRACE_BLOCK_RECORDS)
+        block = self._generator._build_block(self._position, take)
+        self._position += TRACE_BLOCK_RECORDS
+        return block
+
+    def __iter__(self):
+        while True:
+            block = self.next_block()
+            if block is None:
+                return
+            yield from iter_block(block)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (self._position, self._generator.snapshot_state())
+
+    def restore_state(self, state: tuple) -> None:
+        position, generator_state = state
+        self._position = position
+        self._generator.restore_state(generator_state)
+
+
 def estimated_ipc(mpki: float, peak: float = 4.0) -> float:
     """First-order IPC estimate from memory intensity.
 
@@ -261,9 +310,15 @@ class SyntheticTraceGenerator:
         for block in self.blocks(count):
             yield from iter_block(block)
 
-    def chunks(self, count: int) -> TraceChunks:
-        """``count`` records as a columnar :class:`TraceChunks` source."""
-        return TraceChunks(self.blocks(count))
+    def chunks(self, count: int) -> "GeneratorChunks":
+        """``count`` records as a columnar chunk source.
+
+        Returns a :class:`GeneratorChunks` — block-for-block identical
+        to ``TraceChunks(self.blocks(count))`` but snapshotable: its
+        position cursor and this generator's RNG/cursor state round-trip
+        through ``repro.state`` checkpoints.
+        """
+        return GeneratorChunks(self, count)
 
     def blocks(self, count: int) -> Iterator[np.ndarray]:
         """Yield ``count`` records as numpy blocks (the fast path).
@@ -339,6 +394,24 @@ class SyntheticTraceGenerator:
         block["address"] = addresses
         block["is_write"] = write_draw < self.write_fraction
         return block
+
+    # ------------------------------------------------------------------
+    # Snapshotable (repro.state): everything except the RNG stream and
+    # the two rotation cursors is derived from the constructor
+    # arguments, so a fresh generator restores exactly.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            self._rng.snapshot_state(),
+            self._hot_cursor,
+            self._scan_cursor,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        rng_state, hot_cursor, scan_cursor = state
+        self._rng.restore_state(rng_state)
+        self._hot_cursor = hot_cursor
+        self._scan_cursor = scan_cursor
 
     def records_reference(self, count: int) -> Iterator[TraceRecord]:
         """The pre-columnar per-record stream, kept as the oracle.

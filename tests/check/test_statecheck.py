@@ -1,0 +1,204 @@
+"""Snapshot-coverage pass (STA001/STA002): mutable sim state must be
+Snapshotable, one-sided protocols are flagged, and the live tree is
+clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.callgraph import ProjectGraph
+from repro.check.findings import SEVERITY_ERROR
+from repro.check.statecheck import check_statecheck
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _tree(tmp_path: Path, modules: dict) -> ProjectGraph:
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    for rel, source in modules.items():
+        path = tmp_path / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return ProjectGraph.build(tmp_path)
+
+
+@pytest.fixture(scope="module")
+def repo_graph():
+    return ProjectGraph.build(REPO_ROOT)
+
+
+class TestSTA001:
+    def test_mutating_class_without_protocol_is_flagged(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "mem/engine.py": (
+                "class Engine:\n"
+                "    def __init__(self):\n"
+                "        self.count = 0\n"
+                "    def tick(self):\n"
+                "        self.count += 1\n"
+            ),
+        })
+        findings = check_statecheck(graph)
+        assert [f.rule for f in findings] == ["STA001"]
+        assert findings[0].line == 1  # anchored at the class statement
+        assert findings[0].severity == SEVERITY_ERROR
+        assert "tick, line 5" in findings[0].message
+
+    def test_snapshotable_class_is_clean(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "mem/engine.py": (
+                "class Engine:\n"
+                "    def tick(self):\n"
+                "        self.count += 1\n"
+                "    def snapshot_state(self):\n"
+                "        return (self.count,)\n"
+                "    def restore_state(self, state):\n"
+                "        (self.count,) = state\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_constructor_only_assignment_is_clean(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "mem/frozen.py": (
+                "class Frozen:\n"
+                "    def __init__(self):\n"
+                "        self.count = 0\n"
+                "    def __post_init__(self):\n"
+                "        self.extra = 1\n"
+                "    def read(self):\n"
+                "        return self.count\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_inherited_protocol_via_project_base_is_clean(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "track/base.py": (
+                "class TrackerBase:\n"
+                "    def snapshot_state(self):\n"
+                "        return ()\n"
+                "    def restore_state(self, state):\n"
+                "        pass\n"
+            ),
+            "track/counts.py": (
+                "from repro.track.base import TrackerBase\n"
+                "class Counts(TrackerBase):\n"
+                "    def bump(self):\n"
+                "        self.n += 1\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_module_attribute_base_resolves(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "track/base.py": (
+                "class TrackerBase:\n"
+                "    def snapshot_state(self):\n"
+                "        return ()\n"
+                "    def restore_state(self, state):\n"
+                "        pass\n"
+            ),
+            "track/counts.py": (
+                "from repro.track import base\n"
+                "class Counts(base.TrackerBase):\n"
+                "    def bump(self):\n"
+                "        self.n += 1\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_tuple_unpack_and_nested_closure_count(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "core/pair.py": (
+                "class Pair:\n"
+                "    def swap(self):\n"
+                "        self.a, self.b = self.b, self.a\n"
+            ),
+            "core/closure.py": (
+                "class Lazy:\n"
+                "    def arm(self):\n"
+                "        def fire():\n"
+                "            self.armed = True\n"
+                "        return fire\n"
+            ),
+        })
+        rules = [f.rule for f in check_statecheck(graph)]
+        assert rules == ["STA001", "STA001"]
+
+    def test_mutating_call_is_invisible_by_design(self, tmp_path):
+        # Documented limitation: self.items.append(...) never reassigns
+        # a self attribute, so the conservative pass stays quiet.
+        graph = _tree(tmp_path, {
+            "mem/queue.py": (
+                "class Queue:\n"
+                "    def push(self, item):\n"
+                "        self.items.append(item)\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_out_of_scope_packages_are_ignored(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "obs/tally.py": (
+                "class Tally:\n"
+                "    def bump(self):\n"
+                "        self.n += 1\n"
+            ),
+            "exec/driver.py": (
+                "class Driver:\n"
+                "    def bump(self):\n"
+                "        self.n += 1\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+
+class TestSTA002:
+    @pytest.mark.parametrize("present,missing", [
+        ("snapshot_state", "restore_state"),
+        ("restore_state", "snapshot_state"),
+    ])
+    def test_one_sided_protocol_is_flagged(self, tmp_path, present, missing):
+        graph = _tree(tmp_path, {
+            "dram/half.py": (
+                "class Half:\n"
+                f"    def {present}(self, *args):\n"
+                "        pass\n"
+            ),
+        })
+        findings = check_statecheck(graph)
+        assert [f.rule for f in findings] == ["STA002"]
+        assert present in findings[0].message
+        assert missing in findings[0].message
+
+
+class TestSuppression:
+    def test_justified_suppression_honoured(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "mem/tracer.py": (
+                "class Tracer:  # repro-check: STA001 -- observational only\n"
+                "    def see(self):\n"
+                "        self.hits += 1\n"
+            ),
+        })
+        assert check_statecheck(graph) == []
+
+    def test_bare_suppression_is_reported_not_honoured(self, tmp_path):
+        graph = _tree(tmp_path, {
+            "mem/tracer.py": (
+                "class Tracer:  # repro-check: STA001\n"
+                "    def see(self):\n"
+                "        self.hits += 1\n"
+            ),
+        })
+        rules = sorted(f.rule for f in check_statecheck(graph))
+        assert rules == ["RRS008", "STA001"]
+
+
+def test_live_tree_is_fully_covered(repo_graph):
+    """The acceptance gate: every mutable-sim-state class in the repo
+    either implements the protocol or carries a justified suppression."""
+    assert check_statecheck(repo_graph) == []

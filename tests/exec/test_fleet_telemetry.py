@@ -116,7 +116,7 @@ def test_serial_fault_is_retried_and_bit_identical(tmp_path, monkeypatch, capsys
     assert runner.stats.retried == 1
     assert runner.stats.failed == 0
     err = capsys.readouterr().err
-    assert "retrying stream/none@1/32 after worker failure" in err
+    assert "retrying stream/none@1/32 (budget 1) after worker failure" in err
     assert "1 retried" in err
 
     statuses = [row.status for row in runner.ledger.read()]

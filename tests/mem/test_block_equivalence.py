@@ -240,7 +240,7 @@ class TestServiceBlockEquivalence:
             assert blocked.stats == oracle.stats
         # Bank timing state must also converge, not just the totals.
         for left, right in zip(blocked._bank_table, oracle._bank_table):
-            assert left.timing.export_state() == right.timing.export_state()
+            assert left.timing.snapshot_state() == right.timing.snapshot_state()
             assert left.window_act_counts == right.window_act_counts
 
     def test_interval_cadence_matches_explicit_arrivals(self):

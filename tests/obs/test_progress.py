@@ -69,7 +69,7 @@ def test_retries_and_stragglers_counted_distinctly():
     progress.straggler("b", 9.0, 1.1)
     progress.finish(3.0)
     text = stream.getvalue()
-    assert "retrying b after worker failure: RuntimeError('boom')" in text
+    assert "retrying b (budget 1) after worker failure: RuntimeError('boom')" in text
     assert "straggler: b running 9.0s (median 1.1s)" in text
     assert "2 simulated, 1 retried, 1 straggler(s)" in text
 

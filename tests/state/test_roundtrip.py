@@ -1,0 +1,231 @@
+"""The checkpoint round-trip oracle.
+
+For every mitigation: snapshot at a cut, serialize through strict JSON
+(exactly what a fresh process would load from disk), restore into a
+freshly constructed simulator, run to completion — the resulting
+:class:`SimMetrics` must be bit-identical to the uninterrupted run.
+Cut points are fuzzed over the whole run, including the degenerate
+cut-before-the-first-request (0) and cut-after-the-last-request
+(total) ends.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.perf import run_workload
+from repro.core.config import RRSConfig
+from repro.core.rrs import RandomizedRowSwap
+from repro.dram.config import DRAMConfig
+from repro.mitigations import (
+    PARA,
+    BlockHammer,
+    BlockHammerConfig,
+    Graphene,
+    IdealVictimRefresh,
+    NoMitigation,
+    TWiCe,
+    TargetedRowRefresh,
+)
+from repro.state.checkpoint import CheckpointSession, SimCheckpoint
+from repro.workloads.suites import get_workload
+
+SCALE = 128
+CORES = 2
+RECORDS = 600
+TOTAL = RECORDS * CORES
+SEED = 1
+# Cut grid: both degenerate ends, an odd mid-run point, a block-unaligned
+# early point, and the penultimate request.
+CUT_GRID = (0, 1, 257, 600, TOTAL - 1, TOTAL)
+
+MITIGATIONS = (
+    "none",
+    "rrs",
+    "para",
+    "graphene",
+    "twice",
+    "trr",
+    "ideal_vfm",
+    "blockhammer",
+)
+
+
+def _mitigation(name: str):
+    """A fresh mitigation instance (state is never shared across runs)."""
+    dram = DRAMConfig().scaled(SCALE)
+    rows = DRAMConfig().rows_per_bank
+    t_rh = max(12, 4800 // SCALE)
+    if name == "none":
+        return NoMitigation()
+    if name == "rrs":
+        return RandomizedRowSwap(
+            RRSConfig.for_threshold(4800, DRAMConfig()).scaled(SCALE), dram
+        )
+    if name == "para":
+        return PARA(probability=0.02, rows_per_bank=rows, seed=SEED)
+    if name == "graphene":
+        return Graphene(
+            t_rh=t_rh,
+            window_activations=dram.acts_per_refresh_window,
+            rows_per_bank=rows,
+        )
+    if name == "twice":
+        return TWiCe(t_rh=t_rh, window_ns=dram.refresh_window_ns, rows_per_bank=rows)
+    if name == "trr":
+        return TargetedRowRefresh(rows_per_bank=rows)
+    if name == "ideal_vfm":
+        return IdealVictimRefresh(t_rh=t_rh, rows_per_bank=rows)
+    if name == "blockhammer":
+        return BlockHammer(
+            BlockHammerConfig(
+                t_rh=t_rh,
+                blacklist_threshold=4,
+                window_ns=dram.refresh_window_ns,
+            )
+        )
+    raise ValueError(name)
+
+
+def _run(name: str, session=None, with_faults: bool = False):
+    return run_workload(
+        get_workload("lbm"),
+        _mitigation(name),
+        scale=SCALE,
+        records_per_core=RECORDS,
+        cores=CORES,
+        seed=SEED,
+        with_faults=with_faults,
+        checkpoints=session,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _scratch(name: str, with_faults: bool = False):
+    """One uninterrupted run capturing a JSON checkpoint at every cut."""
+    captured = {}
+    session = CheckpointSession(
+        cuts=CUT_GRID,
+        sink=lambda ckpt: captured.setdefault(ckpt.serviced, ckpt.dumps()),
+    )
+    metrics = _run(name, session, with_faults=with_faults)
+    assert sorted(captured) == sorted(CUT_GRID)
+    return metrics, captured
+
+
+def _resume(name: str, cut: int, with_faults: bool = False):
+    baseline, captured = _scratch(name, with_faults)
+    reloaded = SimCheckpoint.loads(captured[cut])
+    resumed = _run(
+        name,
+        CheckpointSession(resume=reloaded),
+        with_faults=with_faults,
+    )
+    return baseline, resumed
+
+
+# ----------------------------------------------------------------------
+# The oracle, per mitigation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", MITIGATIONS)
+@pytest.mark.parametrize("cut", [0, TOTAL])
+def test_degenerate_cuts_roundtrip(name, cut):
+    """Cut before the first request and after the last one."""
+    baseline, resumed = _resume(name, cut)
+    assert resumed == baseline
+
+
+@pytest.mark.parametrize("name", MITIGATIONS)
+@settings(max_examples=4, deadline=None)
+@given(cut=st.sampled_from(CUT_GRID))
+def test_fuzzed_cuts_roundtrip(name, cut):
+    baseline, resumed = _resume(name, cut)
+    assert resumed == baseline
+
+
+# ----------------------------------------------------------------------
+# Behaviour-shaping toggles
+# ----------------------------------------------------------------------
+def test_roundtrip_with_fault_model():
+    baseline, resumed = _resume("rrs", 257, with_faults=True)
+    assert resumed == baseline
+
+
+def test_roundtrip_under_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    _scratch.cache_clear()  # sanitizer state must be inside the payload
+    try:
+        baseline, resumed = _resume("rrs", 257)
+        assert resumed == baseline
+    finally:
+        _scratch.cache_clear()
+
+
+def test_roundtrip_with_scalar_mitigation_path(monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_MITIGATION", "0")
+    _scratch.cache_clear()
+    try:
+        baseline, resumed = _resume("rrs", 257)
+        assert resumed == baseline
+    finally:
+        _scratch.cache_clear()
+
+
+def test_roundtrip_matches_block_controller_loop(monkeypatch):
+    """Checkpointed runs take the scalar loop; a resume must still be
+    bit-identical to the plain run under either block-controller
+    setting (scalar == block is pinned by tests/mem)."""
+    baseline, resumed = _resume("rrs", 257)
+    for toggle in ("1", "0"):
+        monkeypatch.setenv("REPRO_BLOCK_CONTROLLER", toggle)
+        plain = _run("rrs")  # no session: eligible for the block loop
+        assert plain == baseline == resumed
+
+
+def test_sanitizer_presence_mismatch_is_refused(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    _, captured = _scratch("none")
+    reloaded = SimCheckpoint.loads(captured[257])
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    with pytest.raises(ValueError, match="REPRO_SANITIZE"):
+        _run("none", CheckpointSession(resume=reloaded))
+
+
+# ----------------------------------------------------------------------
+# Cross-process: restore in a fresh interpreter
+# ----------------------------------------------------------------------
+def test_resume_in_fresh_process_is_bit_identical(tmp_path):
+    baseline, captured = _scratch("rrs")
+    checkpoint_path = tmp_path / "cut.json"
+    checkpoint_path.write_text(captured[600])
+    script = (
+        "import json, sys\n"
+        "from repro.analysis.perf import run_workload\n"
+        "from repro.state.checkpoint import CheckpointSession, SimCheckpoint\n"
+        "from repro.workloads.suites import get_workload\n"
+        "sys.path.insert(0, {helper!r})\n"
+        "from test_roundtrip import SCALE, CORES, RECORDS, SEED, _mitigation\n"
+        "ckpt = SimCheckpoint.loads(open({path!r}).read())\n"
+        "metrics = run_workload(get_workload('lbm'), _mitigation('rrs'),\n"
+        "    scale=SCALE, records_per_core=RECORDS, cores=CORES, seed=SEED,\n"
+        "    checkpoints=CheckpointSession(resume=ckpt))\n"
+        "print(json.dumps(metrics.to_dict(), sort_keys=True))\n"
+    ).format(helper=str(Path(__file__).parent), path=str(checkpoint_path))
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    resumed = json.loads(result.stdout.strip().splitlines()[-1])
+    assert resumed == json.loads(
+        json.dumps(baseline.to_dict(), sort_keys=True)
+    )

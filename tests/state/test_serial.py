@@ -1,0 +1,93 @@
+"""The snapshot codec: every sentinel round-trips bit-exactly."""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter, deque
+
+import numpy as np
+import pytest
+
+from repro.state.serial import decode_state, encode_state
+
+
+def _roundtrip(value):
+    # Through actual JSON text, exactly like a persisted checkpoint.
+    encoded = json.loads(json.dumps(encode_state(value), allow_nan=False))
+    return decode_state(encoded)
+
+
+def test_scalars_and_none_pass_through():
+    for value in (None, True, False, 0, -7, 123456789, "row", 1.5, -0.0):
+        assert _roundtrip(value) == value
+
+
+def test_tuples_survive_as_tuples_nested():
+    value = (1, (2.5, "x"), [3, (4,)], ())
+    out = _roundtrip(value)
+    assert out == value
+    assert isinstance(out, tuple)
+    assert isinstance(out[1], tuple)
+    assert isinstance(out[2], list)
+    assert isinstance(out[2][1], tuple)
+
+
+def test_dict_keys_and_insertion_order_survive():
+    value = {3: "a", (1, 2): "b", "s": {10: 1}}
+    out = _roundtrip(value)
+    assert out == value
+    assert list(out) == [3, (1, 2), "s"]  # insertion order, real key types
+    assert isinstance(list(out)[1], tuple)
+
+
+def test_nonfinite_floats_use_sentinels():
+    out = _roundtrip({"a": math.inf, "b": -math.inf, "c": math.nan})
+    assert out["a"] == math.inf
+    assert out["b"] == -math.inf
+    assert math.isnan(out["c"])
+
+
+def test_float_precision_is_exact():
+    values = [0.1, 1.0 / 3.0, 6.02e23, 5e-324, 1.7976931348623157e308]
+    assert _roundtrip(values) == values
+
+
+def test_ndarray_roundtrip_is_byte_exact():
+    arrays = [
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+        np.array([0.1, math.pi, 1e-300], dtype=np.float64),
+        np.array([], dtype=np.uint32),
+        np.array([[True, False], [False, True]]),
+    ]
+    for array in arrays:
+        out = _roundtrip(array)
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert out.tobytes() == array.tobytes()
+
+
+def test_noncontiguous_array_is_canonicalized():
+    array = np.arange(20, dtype=np.int32)[::2]
+    out = _roundtrip(array)
+    assert np.array_equal(out, array)
+
+
+def test_numpy_scalars_decay_to_python():
+    out = _roundtrip((np.int64(7), np.bool_(True), np.float64(2.5)))
+    assert out == (7, True, 2.5)
+    assert type(out[0]) is int
+    assert type(out[1]) is bool
+
+
+@pytest.mark.parametrize(
+    "value", [set([1]), frozenset([1]), deque([1]), Counter({"a": 1}), object()]
+)
+def test_unordered_and_opaque_types_are_rejected(value):
+    with pytest.raises(TypeError, match="pure data"):
+        encode_state(value)
+
+
+def test_unknown_sentinel_is_rejected():
+    with pytest.raises(ValueError, match="unknown state sentinel"):
+        decode_state({"__mystery__": 1})

@@ -367,3 +367,63 @@ def test_report_strict_fails_on_error_findings(tmp_path, capsys):
     assert code == 1
     assert "1 error" in capsys.readouterr().out
     assert "REG001" in out.read_text()
+
+
+# ----------------------------------------------------------------------
+# checkpoint verb
+# ----------------------------------------------------------------------
+def test_checkpoint_parser_accepts_flags():
+    parser = build_parser()
+    for argv in (
+        ["checkpoint", "stream"],
+        ["checkpoint", "stream", "none", "--records", "300", "--cores", "2"],
+        ["checkpoint", "lbm", "rrs", "--verify", "--cut", "100"],
+        ["checkpoint", "stream", "blockhammer", "--list", "--store", "/tmp/x"],
+        ["checkpoint", "stream", "ideal-vfm", "--fresh", "--every", "64"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.func)
+
+
+def test_checkpoint_verify_roundtrip_passes(capsys):
+    code = main(
+        ["checkpoint", "stream", "none",
+         "--records", "300", "--cores", "2", "--verify"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "bit-identical" in out
+
+
+def test_checkpoint_verify_unreachable_cut_fails(capsys):
+    code = main(
+        ["checkpoint", "stream", "none",
+         "--records", "300", "--cores", "2", "--verify", "--cut", "999999"]
+    )
+    assert code == 1
+    assert "never reached" in capsys.readouterr().out
+
+
+def test_checkpoint_persist_then_resume_and_list(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    base = ["checkpoint", "stream", "none", "--records", "300",
+            "--cores", "2", "--every", "200", "--store", store]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert "from scratch" in first
+    assert "persisted 3 cut(s)" in first  # cuts at 200, 400, 600 of 600
+
+    # Second run warm-starts from the deepest persisted cut.
+    assert main(base) == 0
+    second = capsys.readouterr().out
+    assert "resumed from cut 600" in second
+
+    assert main(base + ["--list"]) == 0
+    listing = capsys.readouterr().out
+    assert "cut      200 / 600" in listing
+    assert "cut      600 / 600" in listing
+
+    # --fresh ignores the store for resuming.
+    assert main(base + ["--fresh"]) == 0
+    assert "from scratch" in capsys.readouterr().out
